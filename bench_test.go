@@ -1,0 +1,226 @@
+// Benchmarks, one per paper table/figure. Each testing.B target runs a
+// representative point of the corresponding experiment and reports the
+// paper's metric via b.ReportMetric; the full sweeps that regenerate every
+// row/series are produced by `go run ./cmd/cohortbench`.
+package cohort
+
+import (
+	"fmt"
+	"testing"
+
+	"cohort/internal/area"
+	"cohort/internal/bench"
+)
+
+// benchPoint runs one simulated benchmark configuration per b.N iteration
+// and reports simulated kilocycles and IPC.
+func benchPoint(b *testing.B, cfg bench.RunConfig) {
+	b.Helper()
+	var last bench.Result
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.KiloCycles(), "simkcycles")
+	b.ReportMetric(last.IPC, "simIPC")
+}
+
+// BenchmarkFig8SHALatency: Figure 8 — SHA program latency; sub-benchmarks
+// cover the Cohort batch sweep and both baselines at a mid queue size.
+func BenchmarkFig8SHALatency(b *testing.B) {
+	const size = 1024
+	for _, batch := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("Cohort/batch=%d", batch), func(b *testing.B) {
+			benchPoint(b, bench.RunConfig{Workload: bench.SHA, Mode: bench.Cohort, QueueSize: size, Batch: batch})
+		})
+	}
+	b.Run("MMIO", func(b *testing.B) {
+		benchPoint(b, bench.RunConfig{Workload: bench.SHA, Mode: bench.MMIO, QueueSize: size})
+	})
+	b.Run("DMA", func(b *testing.B) {
+		benchPoint(b, bench.RunConfig{Workload: bench.SHA, Mode: bench.DMA, QueueSize: size})
+	})
+}
+
+// BenchmarkFig9AESLatency: Figure 9 — AES program latency.
+func BenchmarkFig9AESLatency(b *testing.B) {
+	const size = 1024
+	for _, batch := range []int{2, 8, 64} {
+		b.Run(fmt.Sprintf("Cohort/batch=%d", batch), func(b *testing.B) {
+			benchPoint(b, bench.RunConfig{Workload: bench.AES, Mode: bench.Cohort, QueueSize: size, Batch: batch})
+		})
+	}
+	b.Run("MMIO", func(b *testing.B) {
+		benchPoint(b, bench.RunConfig{Workload: bench.AES, Mode: bench.MMIO, QueueSize: size})
+	})
+	b.Run("DMA", func(b *testing.B) {
+		benchPoint(b, bench.RunConfig{Workload: bench.AES, Mode: bench.DMA, QueueSize: size})
+	})
+}
+
+// speedupBench reports the Cohort-over-baseline ratio for one Table 3 cell.
+func speedupBench(b *testing.B, w bench.Workload, base bench.Mode, metric string) {
+	b.Helper()
+	const size = 1024
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		c, err := bench.Run(bench.RunConfig{Workload: w, Mode: bench.Cohort, QueueSize: size, Batch: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := bench.Run(bench.RunConfig{Workload: w, Mode: base, QueueSize: size})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric == "latency" {
+			ratio = float64(m.Cycles) / float64(c.Cycles)
+		} else {
+			ratio = c.IPC / m.IPC
+		}
+	}
+	b.ReportMetric(ratio, "speedupX")
+}
+
+// BenchmarkTable3Speedups: Table 3 — peak Cohort speedups at batch=64.
+func BenchmarkTable3Speedups(b *testing.B) {
+	for _, w := range []bench.Workload{bench.SHA, bench.AES} {
+		w := w
+		b.Run(fmt.Sprintf("%v/vsMMIO", w), func(b *testing.B) { speedupBench(b, w, bench.MMIO, "latency") })
+		b.Run(fmt.Sprintf("%v/vsDMA", w), func(b *testing.B) { speedupBench(b, w, bench.DMA, "latency") })
+		b.Run(fmt.Sprintf("%v/withBatching", w), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				small, err := bench.Run(bench.RunConfig{Workload: w, Mode: bench.Cohort, QueueSize: 1024, Batch: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				big, err := bench.Run(bench.RunConfig{Workload: w, Mode: bench.Cohort, QueueSize: 1024, Batch: 64})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = float64(small.Cycles) / float64(big.Cycles)
+			}
+			b.ReportMetric(ratio, "speedupX")
+		})
+	}
+}
+
+// BenchmarkFig10SHAIPC: Figure 10 — IPC speedup of Cohort over baselines
+// while feeding SHA.
+func BenchmarkFig10SHAIPC(b *testing.B) {
+	b.Run("overMMIO", func(b *testing.B) { speedupBench(b, bench.SHA, bench.MMIO, "ipc") })
+	b.Run("overDMA", func(b *testing.B) { speedupBench(b, bench.SHA, bench.DMA, "ipc") })
+}
+
+// BenchmarkFig11AESIPC: Figure 11 — same for AES.
+func BenchmarkFig11AESIPC(b *testing.B) {
+	b.Run("overMMIO", func(b *testing.B) { speedupBench(b, bench.AES, bench.MMIO, "ipc") })
+	b.Run("overDMA", func(b *testing.B) { speedupBench(b, bench.AES, bench.DMA, "ipc") })
+}
+
+// BenchmarkTable4Area: Table 4 — the structural area model (fast; reported
+// as engine LUTs so regressions in the model are visible).
+func BenchmarkTable4Area(b *testing.B) {
+	var luts int
+	for i := 0; i < b.N; i++ {
+		rows := area.Table4()
+		luts = rows[2].Res.LUTs // empty Cohort engine
+	}
+	b.ReportMetric(float64(luts), "engineLUTs")
+}
+
+// --- Native runtime microbenchmarks ---------------------------------------
+
+// BenchmarkFifoPushPop measures the native lock-free queue's single-thread
+// round trip.
+func BenchmarkFifoPushPop(b *testing.B) {
+	q, _ := NewFifo[Word](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(Word(i))
+		if q.Pop() != Word(i) {
+			b.Fatal("order")
+		}
+	}
+}
+
+// BenchmarkFifoConcurrent measures producer/consumer throughput across
+// goroutines.
+func BenchmarkFifoConcurrent(b *testing.B) {
+	q, _ := NewFifo[Word](4096)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			q.Pop()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(Word(i))
+	}
+	<-done
+}
+
+// BenchmarkSHA256Engine measures the native SHA engine end to end.
+func BenchmarkSHA256Engine(b *testing.B) {
+	in, _ := NewFifo[Word](512)
+	out, _ := NewFifo[Word](512)
+	e, err := Register(NewSHA256(), in, out)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Unregister()
+	block := make([]Word, 8)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block[0] = Word(i)
+		in.PushAll(block)
+		out.PopN(4)
+	}
+}
+
+// BenchmarkAES128Engine measures the native AES engine end to end.
+func BenchmarkAES128Engine(b *testing.B) {
+	in, _ := NewFifo[Word](512)
+	out, _ := NewFifo[Word](512)
+	e, err := Register(NewAES128(), in, out, WithCSR([]byte("0123456789abcdef")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Unregister()
+	b.SetBytes(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Push(Word(i))
+		in.Push(Word(i) ^ 0xffff)
+		out.PopN(2)
+	}
+}
+
+// BenchmarkChainAESSHA measures the Figure 5 two-stage native chain.
+func BenchmarkChainAESSHA(b *testing.B) {
+	in, _ := NewFifo[Word](512)
+	out, _ := NewFifo[Word](512)
+	engines, err := Chain(in, out, 256, NewAES128(), NewSHA256())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Unregister()
+		}
+	}()
+	block := make([]Word, 8)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block[0] = Word(i)
+		in.PushAll(block)
+		out.PopN(4)
+	}
+}

@@ -1,0 +1,163 @@
+// Command cohortbench regenerates every table and figure of the paper's
+// evaluation (§5-§6) from the simulated SoC: Figures 8/9 (latency vs queue
+// size), Figures 10/11 (IPC speedup), Table 2 (parameters), Table 3 (peak
+// speedups) and Table 4 (area).
+//
+// Usage:
+//
+//	cohortbench                      # everything
+//	cohortbench -experiment fig8     # one artefact
+//	cohortbench -max-queue 1024      # quicker sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"cohort/internal/area"
+	"cohort/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cohortbench: ")
+	experiment := flag.String("experiment", "all",
+		"one of: all, fig8, fig9, fig10, fig11, table2, table3, table4, ablations")
+	maxQueue := flag.Int("max-queue", 8192, "largest queue size in the sweeps")
+	verify := flag.Bool("verify", true, "cryptographically verify every run's outputs")
+	csvDir := flag.String("csv", "", "also write figure/table data as CSV files into this directory")
+	flag.Parse()
+	csvOut = *csvDir
+
+	p := bench.DefaultParams()
+	if *maxQueue < p.MaxQueue {
+		p.MaxQueue = *maxQueue
+	}
+	s := bench.NewSuite(p, *verify)
+
+	runAll := *experiment == "all" // ablations are opt-in (run with -experiment ablations)
+	did := false
+	for _, e := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"table2", func() error { return table2(p) }},
+		{"fig8", func() error { return latency(s, bench.SHA, "Figure 8") }},
+		{"fig9", func() error { return latency(s, bench.AES, "Figure 9") }},
+		{"table3", func() error { return table3(s) }},
+		{"fig10", func() error { return ipc(s, bench.SHA, "Figure 10") }},
+		{"fig11", func() error { return ipc(s, bench.AES, "Figure 11") }},
+		{"table4", table4},
+		{"ablations", func() error { return ablations(*maxQueue) }},
+	} {
+		if (runAll && e.name != "ablations") || *experiment == e.name {
+			did = true
+			if err := e.fn(); err != nil {
+				log.Fatalf("%s: %v", e.name, err)
+			}
+		}
+	}
+	if !did {
+		log.Printf("unknown experiment %q", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func table2(p bench.Params) error {
+	fmt.Println("== Table 2: Benchmark Tuning Parameters ==")
+	fmt.Printf("%-28s %s\n", "Accelerators of Interest", "AES, SHA")
+	fmt.Printf("%-28s %s\n", "Communication Modes", "Cohort, MMIO, DMA")
+	fmt.Printf("%-28s %d/%d elements\n", "Min/Max Queue Size", p.MinQueue, p.MaxQueue)
+	fmt.Printf("%-28s %d/%d elements\n", "Min/Max Batching Factor", p.MinBatch, p.MaxBatch)
+	fmt.Printf("%-28s %d Bytes\n\n", "Baseline DMA Granularity", p.DMAGranularity)
+	return nil
+}
+
+var csvOut string
+
+func exportCSV(name string, write func(io.Writer) error) error {
+	if csvOut == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvOut, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func latency(s *bench.Suite, w bench.Workload, label string) error {
+	fig, err := s.LatencyFigure(w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s: %s ==\n%s\n", label, fig.Title, fig.Format())
+	return exportCSV(fmt.Sprintf("latency_%v.csv", w), fig.WriteCSV)
+}
+
+func ipc(s *bench.Suite, w bench.Workload, label string) error {
+	fig, err := s.IPCFigure(w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s: %s ==\n%s", label, fig.Title, fig.Format())
+	for _, ser := range fig.Series {
+		lo, hi := bench.Range(ser.Values)
+		fmt.Printf("  %s: %.2fx - %.2fx (peak %.2fx)\n", ser.Name, lo, hi, hi)
+	}
+	fmt.Println()
+	return nil
+}
+
+func table3(s *bench.Suite) error {
+	fmt.Println("== Table 3: Peak speedup for Cohort (batch=64) ==")
+	for _, w := range []bench.Workload{bench.SHA, bench.AES} {
+		rows, err := s.SpeedupTable(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rows.Format())
+		loM, hiM := bench.Range(rows.VsMMIO)
+		loD, hiD := bench.Range(rows.VsDMA)
+		loB, hiB := bench.Range(rows.WithBatching)
+		fmt.Printf("  %v headline: vs MMIO %.2fx-%.2fx, vs DMA %.2fx-%.2fx, batching %.2fx-%.2fx\n\n",
+			w, loM, hiM, loD, hiD, loB, hiB)
+		if err := exportCSV(fmt.Sprintf("table3_%v.csv", w), rows.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ablations(maxQueue int) error {
+	size := 512
+	if maxQueue < size {
+		size = maxQueue
+	}
+	fmt.Printf("== Ablations (Cohort batch=64, queue size %d) ==\n", size)
+	studies, err := bench.DefaultAblations(size)
+	if err != nil {
+		return err
+	}
+	for _, st := range studies {
+		fmt.Println(st.Format())
+	}
+	return nil
+}
+
+func table4() error {
+	fmt.Println("== Table 4: FPGA resource utilisation (structural model) ==")
+	fmt.Println(area.Format(area.Table4()))
+	mmu := area.MMU(area.DefaultTLBParams())
+	tlb := area.TLB(area.DefaultTLBParams())
+	ptw := area.PTW()
+	fmt.Printf("MMU breakdown (§6.3): total %d LUTs / %d regs; TLB %d/%d; PTW %d/%d\n\n",
+		mmu.LUTs, mmu.Regs, tlb.LUTs, tlb.Regs, ptw.LUTs, ptw.Regs)
+	return nil
+}

@@ -1,0 +1,181 @@
+package cohort
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Word is the endpoint interface width: accelerators consume and produce
+// 64-bit words, with any wider blocks assembled by ratchet logic (§4.3).
+type Word = uint64
+
+// Accelerator is a streaming compute element with a fixed block ratio: it
+// consumes InWords words and produces OutWords words per block. Configure
+// receives the CSR struct supplied at registration (an AES key, an encoder
+// geometry, ...). Implementations must be safe to call from the single
+// engine goroutine that owns them.
+type Accelerator interface {
+	Name() string
+	InWords() int
+	OutWords() int
+	Configure(csr []byte) error
+	Process(in []Word) ([]Word, error)
+}
+
+// Engine is a running software Cohort engine: a goroutine bridging an input
+// queue to an accelerator to an output queue, exactly as the paper's
+// hardware engine replaces a software thread (§3.3). Create with Register.
+type Engine struct {
+	acc  Accelerator
+	in   *Fifo[Word]
+	out  *Fifo[Word]
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	elemsIn  atomic.Uint64
+	elemsOut atomic.Uint64
+}
+
+// RegisterOption tunes a Register call.
+type RegisterOption func(*registerCfg)
+
+type registerCfg struct {
+	csr []byte
+}
+
+// WithCSR supplies the accelerator's configuration struct at registration
+// time (§4.3), e.g. the AES key.
+func WithCSR(csr []byte) RegisterOption {
+	return func(c *registerCfg) { c.csr = append([]byte(nil), csr...) }
+}
+
+// Register connects an accelerator between two queues and starts its engine
+// — the cohort_register syscall of Table 1. The caller keeps using plain
+// Push/Pop on the queues; chains are built by registering another engine
+// whose input is this engine's output queue.
+func Register(acc Accelerator, in, out *Fifo[Word], opts ...RegisterOption) (*Engine, error) {
+	if acc.InWords() < 1 || acc.OutWords() < 0 {
+		return nil, fmt.Errorf("cohort: accelerator %s has invalid block ratio %d:%d",
+			acc.Name(), acc.InWords(), acc.OutWords())
+	}
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("cohort: register %s: nil queue", acc.Name())
+	}
+	var cfg registerCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.csr != nil {
+		if err := acc.Configure(cfg.csr); err != nil {
+			return nil, fmt.Errorf("cohort: configure %s: %w", acc.Name(), err)
+		}
+	}
+	e := &Engine{acc: acc, in: in, out: out, stop: make(chan struct{}), done: make(chan struct{})}
+	go e.run()
+	return e, nil
+}
+
+// run is the engine loop: assemble a block (the consumer endpoint +
+// ratchet), process, and emit (the producer endpoint).
+func (e *Engine) run() {
+	defer close(e.done)
+	block := make([]Word, e.acc.InWords())
+	for {
+		for i := range block {
+			w, ok := e.popStoppable()
+			if !ok {
+				return
+			}
+			block[i] = w
+		}
+		e.elemsIn.Add(uint64(len(block)))
+		res, err := e.acc.Process(block)
+		if err != nil {
+			panic(fmt.Sprintf("cohort: accelerator %s failed mid-stream: %v", e.acc.Name(), err))
+		}
+		for _, w := range res {
+			if !e.pushStoppable(w) {
+				return
+			}
+		}
+		e.elemsOut.Add(uint64(len(res)))
+	}
+}
+
+func (e *Engine) popStoppable() (Word, bool) {
+	for {
+		if v, ok := e.in.TryPop(); ok {
+			return v, true
+		}
+		select {
+		case <-e.stop:
+			return 0, false
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+func (e *Engine) pushStoppable(w Word) bool {
+	for {
+		if e.out.TryPush(w) {
+			return true
+		}
+		select {
+		case <-e.stop:
+			return false
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unregister stops the engine (cohort_unregister). Like quiescing hardware,
+// callers should drain in-flight work first: words inside a partially
+// assembled block are dropped. Idempotent; returns once the engine goroutine
+// has exited.
+func (e *Engine) Unregister() {
+	e.once.Do(func() { close(e.stop) })
+	<-e.done
+}
+
+// Stats reports elements consumed and produced, mirroring the hardware
+// engine's performance counters.
+func (e *Engine) Stats() (elemsIn, elemsOut uint64) {
+	return e.elemsIn.Load(), e.elemsOut.Load()
+}
+
+// Chain registers a pipeline of accelerators connected by freshly allocated
+// intermediate queues (each of capacity queueCap), returning the engines in
+// order. The caller pushes into `in` and pops from `out` — the Figure 5
+// pattern generalised to N stages.
+func Chain(in, out *Fifo[Word], queueCap int, accs ...Accelerator) ([]*Engine, error) {
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("cohort: empty chain")
+	}
+	engines := make([]*Engine, 0, len(accs))
+	cur := in
+	for i, acc := range accs {
+		next := out
+		if i < len(accs)-1 {
+			var err error
+			next, err = NewFifo[Word](queueCap)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e, err := Register(acc, cur, next)
+		if err != nil {
+			for _, prev := range engines {
+				prev.Unregister()
+			}
+			return nil, err
+		}
+		engines = append(engines, e)
+		cur = next
+	}
+	return engines, nil
+}

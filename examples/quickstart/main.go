@@ -1,0 +1,63 @@
+// Quickstart: the whole Cohort programming model in one page.
+//
+// An accelerator is used exactly like another thread on the far side of a
+// pair of SPSC queues (paper Figure 4): allocate two fifos, register the
+// accelerator between them, push data, pop results. No driver calls, no
+// special allocation, no flushing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"log"
+
+	"cohort"
+)
+
+func main() {
+	// fifo_init(...) twice: one queue toward the accelerator, one back.
+	toAccel, err := cohort.NewFifo[cohort.Word](64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fromAccel, err := cohort.NewFifo[cohort.Word](64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// cohort_register(acc, in, out): from here on the SHA-256 accelerator
+	// behaves like a consumer thread reading toAccel and a producer thread
+	// writing fromAccel.
+	engine, err := cohort.Register(cohort.NewSHA256(), toAccel, fromAccel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Unregister() // cohort_unregister at exit
+
+	// Hash three 64-byte blocks by pushing words and popping digests.
+	messages := [][]byte{
+		[]byte("cohort: software-oriented acceleration for heterogeneous So"),
+		[]byte("queues are the lingua franca of the heterogeneous system!!!!"),
+		[]byte("push 8 words in, pop 4 words out: that is the whole driver."),
+	}
+	for _, msg := range messages {
+		block := make([]byte, 64)
+		copy(block, msg)
+
+		toAccel.PushAll(cohort.BytesToWords(block)) // 8 pushes
+		digest := cohort.WordsToBytes(fromAccel.PopN(4))
+
+		want := sha256.Sum256(block)
+		status := "OK"
+		if hex.EncodeToString(digest) != hex.EncodeToString(want[:]) {
+			status = "MISMATCH"
+		}
+		fmt.Printf("%-62q -> %s… [%s]\n", string(msg), hex.EncodeToString(digest)[:16], status)
+	}
+
+	in, out := engine.Stats()
+	fmt.Printf("\nengine counters: %d words consumed, %d produced\n", in, out)
+}

@@ -1,0 +1,131 @@
+// Package cohort is a Go implementation of Software-Oriented Acceleration
+// (Wei et al., "Cohort: Software-Oriented Acceleration for Heterogeneous
+// SoCs", ASPLOS 2023): accelerators are programmed through ordinary
+// shared-memory SPSC queues — push data in, pop results out — instead of
+// bespoke driver APIs.
+//
+// The package has two layers:
+//
+//   - The functional runtime in this package: lock-free SPSC queues
+//     (Fifo), the Table 1 programming model (NewFifo/Push/Pop +
+//     Register/Unregister), and real streaming accelerators (SHA-256,
+//     AES-128, an H.264-style encoder, STFT) that run as "engine"
+//     goroutines, supporting transparent accelerator chaining and runtime
+//     reconfiguration exactly like the paper's hardware engines.
+//
+//   - The cycle-level SoC simulation under internal/ (cores, P-Mesh-style
+//     NoC, MESI coherence, Sv39 MMUs, the Cohort engine and the MMIO/DMA
+//     baselines), which reproduces the paper's evaluation; see DESIGN.md
+//     and EXPERIMENTS.md, cmd/cohortbench, and bench_test.go.
+package cohort
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Fifo is a lock-free single-producer single-consumer queue — the software
+// abstraction the whole Cohort model builds on (§3.2). One goroutine may
+// push and one may pop concurrently; an element pushed before a write-index
+// publication is fully visible to the consumer that observes the
+// publication (queue coherence).
+type Fifo[T any] struct {
+	buf  []T
+	mask uint64
+
+	// Producer and consumer index words live apart to avoid false sharing,
+	// with each side caching its last view of the other's index.
+	_    [64]byte
+	tail atomic.Uint64 // next slot to write (producer-owned)
+	_    [64]byte
+	head atomic.Uint64 // next slot to read (consumer-owned)
+	_    [64]byte
+
+	cachedHead uint64 // producer's view of head
+	_          [64]byte
+	cachedTail uint64 // consumer's view of tail
+}
+
+// NewFifo allocates a queue with capacity rounded up to a power of two
+// ("fifo_init" in Table 1; there is no fifo_deinit — the GC is the
+// deallocation routine).
+func NewFifo[T any](capacity int) (*Fifo[T], error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("cohort: fifo capacity must be positive, got %d", capacity)
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Fifo[T]{buf: make([]T, n), mask: uint64(n) - 1}, nil
+}
+
+// Cap returns the queue capacity.
+func (q *Fifo[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of queued elements (approximate under concurrency).
+func (q *Fifo[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// TryPush appends v if there is room and reports whether it did.
+func (q *Fifo[T]) TryPush(v T) bool {
+	t := q.tail.Load()
+	if t-q.cachedHead >= uint64(len(q.buf)) {
+		q.cachedHead = q.head.Load()
+		if t-q.cachedHead >= uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1) // release: publishes the data store above
+	return true
+}
+
+// Push appends v, spinning (with yields) while the queue is full.
+func (q *Fifo[T]) Push(v T) {
+	for !q.TryPush(v) {
+		runtime.Gosched()
+	}
+}
+
+// TryPop removes the head element if present.
+func (q *Fifo[T]) TryPop() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	if h >= q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if h >= q.cachedTail {
+			return zero, false
+		}
+	}
+	v := q.buf[h&q.mask]
+	q.buf[h&q.mask] = zero // drop the reference for the GC
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Pop removes and returns the head element, spinning while empty.
+func (q *Fifo[T]) Pop() T {
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// PushAll pushes every element of vs.
+func (q *Fifo[T]) PushAll(vs []T) {
+	for _, v := range vs {
+		q.Push(v)
+	}
+}
+
+// PopN pops exactly n elements.
+func (q *Fifo[T]) PopN(n int) []T {
+	out := make([]T, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, q.Pop())
+	}
+	return out
+}

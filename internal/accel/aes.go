@@ -1,0 +1,196 @@
+package accel
+
+import "fmt"
+
+// AESBlockSize is the AES block size in bytes (128 bits).
+const AESBlockSize = 16
+
+// AESKeySize is the AES-128 key size in bytes.
+const AESKeySize = 16
+
+// The S-box is derived, not transcribed: multiplicative inverse in GF(2^8)
+// followed by the affine transform, per FIPS 197 §5.1.1.
+var (
+	aesSbox    [256]byte
+	aesInvSbox [256]byte
+)
+
+func init() {
+	// Build log/antilog tables over GF(2^8) with generator 3.
+	var exp [256]byte
+	var log [256]byte
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		exp[i] = x
+		log[x] = byte(i)
+		x ^= gfDouble(x) // multiply by 3 = x * 2 ^ x
+	}
+	inv := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		return exp[(255-int(log[b]))%255]
+	}
+	for i := 0; i < 256; i++ {
+		v := inv(byte(i))
+		// Affine transform: b ^= rot(b,4) ^ rot(b,5) ^ rot(b,6) ^ rot(b,7) ^ 0x63.
+		s := v ^ rotl8(v, 1) ^ rotl8(v, 2) ^ rotl8(v, 3) ^ rotl8(v, 4) ^ 0x63
+		aesSbox[i] = s
+		aesInvSbox[s] = byte(i)
+	}
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// gfDouble multiplies by x (0x02) in GF(2^8) mod x^8+x^4+x^3+x+1.
+func gfDouble(b byte) byte {
+	d := b << 1
+	if b&0x80 != 0 {
+		d ^= 0x1b
+	}
+	return d
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = gfDouble(a)
+		b >>= 1
+	}
+	return p
+}
+
+// AES is an AES-128 block cipher with a fixed expanded key.
+type AES struct {
+	rk [11][16]byte // round keys in byte-matrix order (column major like the state)
+}
+
+// NewAES expands a 128-bit key.
+func NewAES(key []byte) (*AES, error) {
+	if len(key) != AESKeySize {
+		return nil, fmt.Errorf("accel: AES-128 key must be 16 bytes, got %d", len(key))
+	}
+	a := &AES{}
+	var w [44][4]byte
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	rcon := byte(1)
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			// RotWord + SubWord + Rcon.
+			t = [4]byte{aesSbox[t[1]], aesSbox[t[2]], aesSbox[t[3]], aesSbox[t[0]]}
+			t[0] ^= rcon
+			rcon = gfDouble(rcon)
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-4][j] ^ t[j]
+		}
+	}
+	for r := 0; r < 11; r++ {
+		for c := 0; c < 4; c++ {
+			copy(a.rk[r][4*c:4*c+4], w[4*r+c][:])
+		}
+	}
+	return a, nil
+}
+
+func addRoundKey(s *[16]byte, rk *[16]byte) {
+	for i := range s {
+		s[i] ^= rk[i]
+	}
+}
+
+func subBytes(s *[16]byte) {
+	for i := range s {
+		s[i] = aesSbox[s[i]]
+	}
+}
+
+func invSubBytes(s *[16]byte) {
+	for i := range s {
+		s[i] = aesInvSbox[s[i]]
+	}
+}
+
+// shiftRows operates on the state laid out column-major: s[4*c+r].
+func shiftRows(s *[16]byte) {
+	var t [16]byte
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			t[4*c+r] = s[4*((c+r)%4)+r]
+		}
+	}
+	*s = t
+}
+
+func invShiftRows(s *[16]byte) {
+	var t [16]byte
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			t[4*((c+r)%4)+r] = s[4*c+r]
+		}
+	}
+	*s = t
+}
+
+func mixColumns(s *[16]byte) {
+	for c := 0; c < 4; c++ {
+		col := s[4*c : 4*c+4]
+		a0, a1, a2, a3 := col[0], col[1], col[2], col[3]
+		col[0] = gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3
+		col[1] = a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3
+		col[2] = a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3)
+		col[3] = gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2)
+	}
+}
+
+func invMixColumns(s *[16]byte) {
+	for c := 0; c < 4; c++ {
+		col := s[4*c : 4*c+4]
+		a0, a1, a2, a3 := col[0], col[1], col[2], col[3]
+		col[0] = gfMul(a0, 14) ^ gfMul(a1, 11) ^ gfMul(a2, 13) ^ gfMul(a3, 9)
+		col[1] = gfMul(a0, 9) ^ gfMul(a1, 14) ^ gfMul(a2, 11) ^ gfMul(a3, 13)
+		col[2] = gfMul(a0, 13) ^ gfMul(a1, 9) ^ gfMul(a2, 14) ^ gfMul(a3, 11)
+		col[3] = gfMul(a0, 11) ^ gfMul(a1, 13) ^ gfMul(a2, 9) ^ gfMul(a3, 14)
+	}
+}
+
+// Encrypt encrypts one 16-byte block (dst and src may overlap).
+func (a *AES) Encrypt(dst, src []byte) {
+	var s [16]byte
+	copy(s[:], src[:16])
+	addRoundKey(&s, &a.rk[0])
+	for r := 1; r <= 9; r++ {
+		subBytes(&s)
+		shiftRows(&s)
+		mixColumns(&s)
+		addRoundKey(&s, &a.rk[r])
+	}
+	subBytes(&s)
+	shiftRows(&s)
+	addRoundKey(&s, &a.rk[10])
+	copy(dst[:16], s[:])
+}
+
+// Decrypt decrypts one 16-byte block.
+func (a *AES) Decrypt(dst, src []byte) {
+	var s [16]byte
+	copy(s[:], src[:16])
+	addRoundKey(&s, &a.rk[10])
+	for r := 9; r >= 1; r-- {
+		invShiftRows(&s)
+		invSubBytes(&s)
+		addRoundKey(&s, &a.rk[r])
+		invMixColumns(&s)
+	}
+	invShiftRows(&s)
+	invSubBytes(&s)
+	addRoundKey(&s, &a.rk[0])
+	copy(dst[:16], s[:])
+}

@@ -1,0 +1,108 @@
+package accel
+
+import (
+	"fmt"
+
+	"cohort/internal/sim"
+)
+
+// AXI-Stream support (§4.3: "Our prototype supports both simple valid-ready
+// handshakes and AXI-Stream as latency insensitive interfaces"). An
+// AXI-Stream beat carries TDATA plus a TLAST marker closing a packet; the
+// adapter below lets packet-oriented accelerators sit behind the same word
+// queues the Cohort endpoints drive, with the ratchet encoding TLAST
+// in-band.
+
+// Beat is one AXI-Stream transfer: 64 bits of TDATA plus TLAST.
+type Beat struct {
+	Data uint64
+	Last bool
+}
+
+// PacketFunc transforms one complete packet (the TDATA words of beats up to
+// and including TLAST) into an output packet.
+type PacketFunc func(packet []uint64) ([]uint64, error)
+
+// AXIStreamDevice adapts a packet-transform accelerator to the engine's word
+// streams. The in-band framing convention mirrors how streaming protocols
+// ride 64-bit fabrics: each packet is preceded by one word carrying its beat
+// count, which the adapter's ratchet turns into TLAST on the final beat.
+type AXIStreamDevice struct {
+	name    string
+	latency sim.Time // per-beat processing latency
+	fn      PacketFunc
+	packets uint64
+	beats   uint64
+}
+
+// NewAXIStreamDevice wraps fn as a streaming device.
+func NewAXIStreamDevice(name string, perBeatLatency sim.Time, fn PacketFunc) *AXIStreamDevice {
+	return &AXIStreamDevice{name: name, latency: perBeatLatency, fn: fn}
+}
+
+// Name implements Device.
+func (d *AXIStreamDevice) Name() string { return d.name }
+
+// Latency implements Device (per-beat).
+func (d *AXIStreamDevice) Latency() sim.Time { return d.latency }
+
+// Blocks implements Device: completed packets.
+func (d *AXIStreamDevice) Blocks() uint64 { return d.packets }
+
+// Beats reports total beats transferred (both directions).
+func (d *AXIStreamDevice) Beats() uint64 { return d.beats }
+
+// Configure implements Device (no CSRs by default).
+func (d *AXIStreamDevice) Configure([]byte) error { return nil }
+
+// Start implements Device: assemble packets beat by beat (asserting TLAST on
+// the length'th beat), transform, and emit the result with the same framing.
+func (d *AXIStreamDevice) Start(k *sim.Kernel, in, out *sim.Queue[uint64]) {
+	k.Spawn(d.name, func(p *sim.Proc) {
+		for {
+			n := in.Get(p) // length prefix = beats until TLAST
+			if n == 0 {
+				// Zero-length packets are legal AXI-Stream; pass the frame on.
+				out.Put(p, 0)
+				d.packets++
+				continue
+			}
+			packet := make([]uint64, 0, n)
+			for i := uint64(0); i < n; i++ {
+				beat := Beat{Data: in.Get(p), Last: i == n-1}
+				d.beats++
+				p.Wait(d.latency)
+				packet = append(packet, beat.Data)
+			}
+			res, err := d.fn(packet)
+			if err != nil {
+				panic(fmt.Sprintf("accel: %s packet transform: %v", d.name, err))
+			}
+			out.Put(p, uint64(len(res)))
+			for i, w := range res {
+				_ = Beat{Data: w, Last: i == len(res)-1}
+				d.beats++
+				out.Put(p, w)
+			}
+			d.packets++
+		}
+	})
+}
+
+// NewAXIStreamLoopback returns the §4.3 "null accelerator" in its AXI-Stream
+// form: a FIFO that echoes packets unchanged.
+func NewAXIStreamLoopback(perBeatLatency sim.Time) *AXIStreamDevice {
+	return NewAXIStreamDevice("axis-loopback", perBeatLatency,
+		func(packet []uint64) ([]uint64, error) { return packet, nil })
+}
+
+// NewAXIStreamSHA returns a SHA-256 packet device: each packet is hashed as
+// a byte string (8 bytes per beat), TLAST delimiting the message — variable-
+// length input without any header games.
+func NewAXIStreamSHA(perBeatLatency sim.Time) *AXIStreamDevice {
+	return NewAXIStreamDevice("axis-sha256", perBeatLatency,
+		func(packet []uint64) ([]uint64, error) {
+			sum := SHA256Sum(WordsToBytes(packet))
+			return BytesToWords(sum[:]), nil
+		})
+}

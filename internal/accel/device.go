@@ -1,0 +1,286 @@
+package accel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cohort/internal/sim"
+)
+
+// Device is a simulated accelerator behind latency-insensitive valid/ready
+// word streams (paper §4.3). The Cohort engine's consumer endpoint feeds
+// `in`; the producer endpoint drains `out`. Backpressure is the queues'
+// bounded capacity: a full output queue stalls the device exactly like a
+// deasserted ready signal.
+//
+// All devices speak 64-bit words — the endpoint interface width of the
+// prototype — and perform their own ratcheting to the kernel's natural block
+// size (SHA: 8 words in, 4 out; AES: 2 in, 2 out; …).
+type Device interface {
+	// Name identifies the device in stats and errors.
+	Name() string
+	// Latency is the block compute latency in cycles.
+	Latency() sim.Time
+	// Configure installs the CSR configuration struct passed at queue
+	// registration (§4.3), e.g. the AES key.
+	Configure(csr []byte) error
+	// Start launches the device's process bridging in to out.
+	Start(k *sim.Kernel, in, out *sim.Queue[uint64])
+	// Blocks reports how many blocks have been processed.
+	Blocks() uint64
+}
+
+// WordsToBytes unpacks little-endian 64-bit words.
+func WordsToBytes(words []uint64) []byte {
+	b := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(b[8*i:], w)
+	}
+	return b
+}
+
+// BytesToWords packs bytes (length a multiple of 8) into words.
+func BytesToWords(b []byte) []uint64 {
+	if len(b)%8 != 0 {
+		panic(fmt.Sprintf("accel: %d bytes do not pack into words", len(b)))
+	}
+	w := make([]uint64, len(b)/8)
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return w
+}
+
+// BlockDevice is a fixed-ratio streaming device: consume inWords, compute
+// for latency cycles, emit outWords.
+type BlockDevice struct {
+	name      string
+	inWords   int
+	outWords  int
+	latency   sim.Time
+	configure func(csr []byte) error
+	process   func(in []uint64) []uint64
+	blocks    uint64
+}
+
+// Name implements Device.
+func (d *BlockDevice) Name() string { return d.name }
+
+// InWords returns the words consumed per block.
+func (d *BlockDevice) InWords() int { return d.inWords }
+
+// OutWords returns the words produced per block.
+func (d *BlockDevice) OutWords() int { return d.outWords }
+
+// Latency implements Device.
+func (d *BlockDevice) Latency() sim.Time { return d.latency }
+
+// Blocks implements Device.
+func (d *BlockDevice) Blocks() uint64 { return d.blocks }
+
+// Configure implements Device.
+func (d *BlockDevice) Configure(csr []byte) error {
+	if d.configure == nil {
+		return nil
+	}
+	return d.configure(csr)
+}
+
+// Start implements Device.
+func (d *BlockDevice) Start(k *sim.Kernel, in, out *sim.Queue[uint64]) {
+	k.Spawn(d.name, func(p *sim.Proc) {
+		buf := make([]uint64, d.inWords)
+		for {
+			for i := range buf {
+				buf[i] = in.Get(p) // ratchet: assemble the block word by word
+			}
+			p.Wait(d.latency)
+			res := d.process(buf)
+			if len(res) != d.outWords {
+				panic(fmt.Sprintf("accel: %s produced %d words, want %d", d.name, len(res), d.outWords))
+			}
+			for _, w := range res {
+				out.Put(p, w) // blocks when the consumer backpressures
+			}
+			d.blocks++
+		}
+	})
+}
+
+// Paper §6.1: measured block latencies of the FPGA accelerators.
+const (
+	SHALatency sim.Time = 66
+	AESLatency sim.Time = 41
+)
+
+// NewSHADevice returns the SHA-256 accelerator: 512-bit blocks in (8 words),
+// 256-bit digests out (4 words), 66-cycle latency.
+func NewSHADevice() *BlockDevice {
+	return &BlockDevice{
+		name:     "sha256",
+		inWords:  8,
+		outWords: 4,
+		latency:  SHALatency,
+		process: func(in []uint64) []uint64 {
+			sum := SHA256Sum(WordsToBytes(in))
+			return BytesToWords(sum[:])
+		},
+	}
+}
+
+// NewAESDevice returns the AES-128 accelerator: 128-bit blocks (2 words) in
+// and out, 41-cycle latency. The key arrives via the CSR struct at
+// registration time (§4.3); until then the device encrypts with the zero key.
+func NewAESDevice() *BlockDevice {
+	cipher, _ := NewAES(make([]byte, AESKeySize))
+	d := &BlockDevice{
+		name:     "aes128",
+		inWords:  2,
+		outWords: 2,
+		latency:  AESLatency,
+	}
+	d.configure = func(csr []byte) error {
+		c, err := NewAES(csr)
+		if err != nil {
+			return err
+		}
+		cipher = c
+		return nil
+	}
+	d.process = func(in []uint64) []uint64 {
+		var blk [AESBlockSize]byte
+		binary.LittleEndian.PutUint64(blk[0:], in[0])
+		binary.LittleEndian.PutUint64(blk[8:], in[1])
+		cipher.Encrypt(blk[:], blk[:])
+		return []uint64{binary.LittleEndian.Uint64(blk[0:]), binary.LittleEndian.Uint64(blk[8:])}
+	}
+	return d
+}
+
+// NewNullDevice returns the AXI-Stream FIFO "null" accelerator of §4.3: a
+// pass-through used to validate the stream plumbing.
+func NewNullDevice(latency sim.Time) *BlockDevice {
+	return &BlockDevice{
+		name:     "axis-null",
+		inWords:  1,
+		outWords: 1,
+		latency:  latency,
+		process:  func(in []uint64) []uint64 { return []uint64{in[0]} },
+	}
+}
+
+// NewSTFTDevice returns the short-time Fourier transform accelerator: it
+// consumes `window` float64-bit samples and emits `window` magnitude words.
+func NewSTFTDevice(window int) (*BlockDevice, error) {
+	if window <= 0 || window&(window-1) != 0 {
+		return nil, fmt.Errorf("accel: STFT window %d is not a power of two", window)
+	}
+	win := HannWindow(window)
+	// A pipelined butterfly network retires roughly n*log2(n)/2 ops.
+	lat := sim.Time(1)
+	for n := window; n > 1; n >>= 1 {
+		lat += sim.Time(window / 2)
+	}
+	return &BlockDevice{
+		name:     "stft",
+		inWords:  window,
+		outWords: window,
+		latency:  lat,
+		process: func(in []uint64) []uint64 {
+			frame := make([]complex128, window)
+			for i, w := range in {
+				frame[i] = complex(math.Float64frombits(w)*win[i], 0)
+			}
+			if err := FFT(frame); err != nil {
+				panic(err) // window validated at construction
+			}
+			out := make([]uint64, window)
+			for i, c := range frame {
+				out[i] = math.Float64bits(math.Hypot(real(c), imag(c)))
+			}
+			return out
+		},
+	}, nil
+}
+
+// H264Device is the variable-input-length video encoder device: the first
+// input word carries the frame count (like the hardh264 instance the paper
+// integrated), frame pixels stream in as packed words, and the output is a
+// length-prefixed bitstream.
+type H264Device struct {
+	cfg     H264Config
+	enc     *H264Encoder
+	latency sim.Time
+	blocks  uint64
+}
+
+// NewH264Device builds the device with a default configuration; the real
+// configuration arrives via the CSR struct.
+func NewH264Device() *H264Device {
+	cfg := H264Config{Width: 16, Height: 16, QP: 4}
+	enc, err := NewH264Encoder(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return &H264Device{cfg: cfg, enc: enc, latency: 400}
+}
+
+// Name implements Device.
+func (d *H264Device) Name() string { return "h264" }
+
+// Latency implements Device.
+func (d *H264Device) Latency() sim.Time { return d.latency }
+
+// Blocks implements Device.
+func (d *H264Device) Blocks() uint64 { return d.blocks }
+
+// Configure implements Device. The CSR struct is three little-endian 32-bit
+// words: width, height, QP.
+func (d *H264Device) Configure(csr []byte) error {
+	if len(csr) < 12 {
+		return fmt.Errorf("accel: h264 CSR struct needs 12 bytes, got %d", len(csr))
+	}
+	cfg := H264Config{
+		Width:  int(binary.LittleEndian.Uint32(csr[0:])),
+		Height: int(binary.LittleEndian.Uint32(csr[4:])),
+		QP:     int(binary.LittleEndian.Uint32(csr[8:])),
+	}
+	enc, err := NewH264Encoder(cfg)
+	if err != nil {
+		return err
+	}
+	d.cfg = cfg
+	d.enc = enc
+	return nil
+}
+
+// Start implements Device.
+func (d *H264Device) Start(k *sim.Kernel, in, out *sim.Queue[uint64]) {
+	k.Spawn("h264", func(p *sim.Proc) {
+		for {
+			nframes := int(in.Get(p))
+			frames := make([][]byte, 0, nframes)
+			wordsPerFrame := (d.enc.FrameSize() + 7) / 8
+			for f := 0; f < nframes; f++ {
+				words := make([]uint64, wordsPerFrame)
+				for i := range words {
+					words[i] = in.Get(p)
+				}
+				frames = append(frames, WordsToBytes(words)[:d.enc.FrameSize()])
+				p.Wait(d.latency) // per-frame compute
+			}
+			stream, err := d.enc.Encode(frames)
+			if err != nil {
+				panic(fmt.Sprintf("accel: h264 encode: %v", err))
+			}
+			padded := make([]byte, (len(stream)+7)/8*8)
+			copy(padded, stream)
+			out.Put(p, uint64(len(stream)))
+			for _, w := range BytesToWords(padded) {
+				out.Put(p, w)
+			}
+			d.blocks += uint64(nframes)
+		}
+	})
+}

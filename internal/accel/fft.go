@@ -1,0 +1,111 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// The short-time Fourier transform accelerator is the fourth device the
+// paper mentions connecting to Cohort (§4.3). The kernel here is an
+// iterative radix-2 decimation-in-time FFT plus a Hann-windowed STFT.
+
+// FFT computes the in-place radix-2 FFT of x (len must be a power of two).
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("accel: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := -2 * math.Pi / float64(size)
+		wl := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < size/2; k++ {
+				u := x[start+k]
+				v := x[start+k+size/2] * w
+				x[start+k] = u + v
+				x[start+k+size/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse FFT in place.
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / n
+	}
+	return nil
+}
+
+// HannWindow returns the length-n Hann window.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n)))
+	}
+	return w
+}
+
+// STFT computes the short-time Fourier transform of signal with the given
+// window size (power of two) and hop. Each row of the result is the spectrum
+// of one Hann-windowed frame.
+func STFT(signal []float64, window, hop int) ([][]complex128, error) {
+	if window <= 0 || window&(window-1) != 0 {
+		return nil, fmt.Errorf("accel: STFT window %d is not a power of two", window)
+	}
+	if hop <= 0 {
+		return nil, fmt.Errorf("accel: STFT hop must be positive")
+	}
+	if len(signal) < window {
+		return nil, fmt.Errorf("accel: signal shorter than window")
+	}
+	win := HannWindow(window)
+	var frames [][]complex128
+	for start := 0; start+window <= len(signal); start += hop {
+		frame := make([]complex128, window)
+		for i := 0; i < window; i++ {
+			frame[i] = complex(signal[start+i]*win[i], 0)
+		}
+		if err := FFT(frame); err != nil {
+			return nil, err
+		}
+		frames = append(frames, frame)
+	}
+	return frames, nil
+}
+
+// NaiveDFT is the O(n^2) reference used by tests.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			s += x[t] * cmplx.Rect(1, -2*math.Pi*float64(k)*float64(t)/float64(n))
+		}
+		out[k] = s
+	}
+	return out
+}

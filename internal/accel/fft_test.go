@@ -1,0 +1,160 @@
+package accel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randSignal(rng, n)
+		want := NaiveDFT(x)
+		got := append([]complex128(nil), x...)
+		if err := FFT(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 100} {
+		if err := FFT(make([]complex128, n)); err == nil {
+			t.Errorf("n=%d accepted", n)
+		}
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := randSignal(rng, 128)
+	y := append([]complex128(nil), x...)
+	if err := FFT(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+			t.Fatalf("round trip error at %d: %v vs %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x := randSignal(rng, 256)
+	var timeE float64
+	for _, v := range x {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(len(x))-timeE) > 1e-6*timeE {
+		t.Fatalf("Parseval violated: %g vs %g", freqE/float64(len(x)), timeE)
+	}
+}
+
+func TestFFTPureToneHitsOneBin(t *testing.T) {
+	const n, bin = 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*bin*float64(i)/n)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mag := cmplx.Abs(x[i])
+		if i == bin && math.Abs(mag-n) > 1e-8 {
+			t.Fatalf("bin %d magnitude %g, want %d", i, mag, n)
+		}
+		if i != bin && mag > 1e-8 {
+			t.Fatalf("leakage into bin %d: %g", i, mag)
+		}
+	}
+}
+
+func TestSTFTFrameCountAndShape(t *testing.T) {
+	sig := make([]float64, 1000)
+	for i := range sig {
+		sig[i] = math.Sin(2 * math.Pi * float64(i) / 32)
+	}
+	frames, err := STFT(sig, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFrames := (1000-128)/64 + 1
+	if len(frames) != wantFrames {
+		t.Fatalf("frames = %d, want %d", len(frames), wantFrames)
+	}
+	for _, f := range frames {
+		if len(f) != 128 {
+			t.Fatalf("frame length %d", len(f))
+		}
+	}
+	// The tone at period 32 concentrates at bin 128/32 = 4.
+	peak := 0
+	best := 0.0
+	for i := 0; i < 64; i++ {
+		if m := cmplx.Abs(frames[0][i]); m > best {
+			best, peak = m, i
+		}
+	}
+	if peak != 4 {
+		t.Fatalf("peak bin %d, want 4", peak)
+	}
+}
+
+func TestSTFTValidation(t *testing.T) {
+	sig := make([]float64, 100)
+	if _, err := STFT(sig, 100, 10); err == nil {
+		t.Error("non-power-of-two window accepted")
+	}
+	if _, err := STFT(sig, 128, 10); err == nil {
+		t.Error("window longer than signal accepted")
+	}
+	if _, err := STFT(sig, 64, 0); err == nil {
+		t.Error("zero hop accepted")
+	}
+}
+
+func TestHannWindowProperties(t *testing.T) {
+	w := HannWindow(64)
+	if w[0] != 0 {
+		t.Fatalf("w[0] = %g", w[0])
+	}
+	max := 0.0
+	for _, v := range w {
+		if v < 0 || v > 1 {
+			t.Fatalf("window value %g out of [0,1]", v)
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if math.Abs(max-1) > 0.01 {
+		t.Fatalf("window peak %g, want ~1", max)
+	}
+}

@@ -1,0 +1,229 @@
+package accel
+
+import "fmt"
+
+// The H.264-style encoder (paper §5.2) is a streaming, variable-input-length
+// accelerator: a header announces the frame count (exactly how the paper's
+// hardh264 instance takes the number of frames first), then each frame is
+// coded as 4x4 blocks — integer transform, quantization, zigzag scan, and
+// run/level entropy coding with Exp-Golomb codes (a CAVLC-flavoured VLC).
+//
+// Simplifications vs a conformance encoder, chosen to keep the codec exactly
+// invertible up to quantization (which the tests verify): the 4x4 core
+// transform is the Walsh-Hadamard transform H.264 applies to DC coefficients
+// (orthogonal with uniform gain 16, so inverse-transform is exact in integer
+// arithmetic), there is no intra prediction, and the VLC is not
+// context-adaptive.
+
+// zigzag4x4 is the standard 4x4 scan order.
+var zigzag4x4 = [16]int{0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15}
+
+// wht4x4 applies the 4x4 Walsh-Hadamard transform in place (rows then
+// columns). Involution up to a gain of 16: wht(wht(x)) = 16x.
+func wht4x4(b *[16]int32) {
+	for r := 0; r < 4; r++ {
+		x := b[4*r : 4*r+4]
+		s0, s1 := x[0]+x[3], x[1]+x[2]
+		d0, d1 := x[0]-x[3], x[1]-x[2]
+		x[0], x[1], x[2], x[3] = s0+s1, d0+d1, s0-s1, d0-d1
+	}
+	for c := 0; c < 4; c++ {
+		x0, x1, x2, x3 := b[c], b[c+4], b[c+8], b[c+12]
+		s0, s1 := x0+x3, x1+x2
+		d0, d1 := x0-x3, x1-x2
+		b[c], b[c+4], b[c+8], b[c+12] = s0+s1, d0+d1, s0-s1, d0-d1
+	}
+}
+
+func quantize(c int32, q int32) int32 {
+	if c >= 0 {
+		return (c + q/2) / q
+	}
+	return -((-c + q/2) / q)
+}
+
+// H264Config parameterizes the encoder.
+type H264Config struct {
+	Width, Height int // luma dimensions, multiples of 4
+	QP            int // quantization step, >= 1 (1 = near-lossless)
+}
+
+func (c H264Config) validate() error {
+	if c.Width <= 0 || c.Height <= 0 || c.Width%4 != 0 || c.Height%4 != 0 {
+		return fmt.Errorf("accel: h264 frame %dx%d must be positive multiples of 4", c.Width, c.Height)
+	}
+	if c.QP < 1 {
+		return fmt.Errorf("accel: h264 QP must be >= 1, got %d", c.QP)
+	}
+	return nil
+}
+
+// H264Encoder encodes sequences of grayscale frames.
+type H264Encoder struct {
+	cfg H264Config
+}
+
+// NewH264Encoder validates the configuration.
+func NewH264Encoder(cfg H264Config) (*H264Encoder, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &H264Encoder{cfg: cfg}, nil
+}
+
+// FrameSize returns the bytes per input frame.
+func (e *H264Encoder) FrameSize() int { return e.cfg.Width * e.cfg.Height }
+
+// Encode codes frames (each FrameSize bytes) into one bitstream.
+func (e *H264Encoder) Encode(frames [][]byte) ([]byte, error) {
+	w := &BitWriter{}
+	w.WriteUE(uint32(len(frames)))
+	w.WriteUE(uint32(e.cfg.Width / 4))
+	w.WriteUE(uint32(e.cfg.Height / 4))
+	w.WriteUE(uint32(e.cfg.QP))
+	for fi, f := range frames {
+		if len(f) != e.FrameSize() {
+			return nil, fmt.Errorf("accel: frame %d is %d bytes, want %d", fi, len(f), e.FrameSize())
+		}
+		e.encodeFrame(w, f)
+	}
+	return w.Bytes(), nil
+}
+
+func (e *H264Encoder) encodeFrame(w *BitWriter, f []byte) {
+	for by := 0; by < e.cfg.Height; by += 4 {
+		for bx := 0; bx < e.cfg.Width; bx += 4 {
+			var blk [16]int32
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					// Center around 0 like residual coding would.
+					blk[4*r+c] = int32(f[(by+r)*e.cfg.Width+bx+c]) - 128
+				}
+			}
+			wht4x4(&blk)
+			var coef [16]int32
+			for i, zi := range zigzag4x4 {
+				coef[i] = quantize(blk[zi], int32(e.cfg.QP))
+			}
+			encodeBlock(w, &coef)
+		}
+	}
+}
+
+// encodeBlock writes nnz then (run, level) pairs in scan order.
+func encodeBlock(w *BitWriter, coef *[16]int32) {
+	nnz := 0
+	for _, c := range coef {
+		if c != 0 {
+			nnz++
+		}
+	}
+	w.WriteUE(uint32(nnz))
+	run := 0
+	for _, c := range coef {
+		if c == 0 {
+			run++
+			continue
+		}
+		w.WriteUE(uint32(run))
+		w.WriteSE(c)
+		run = 0
+	}
+}
+
+// H264Decoder reconstructs frames from a bitstream produced by H264Encoder.
+type H264Decoder struct{}
+
+// Decode parses the stream and returns the reconstructed frames plus the
+// configuration carried in the header.
+func (H264Decoder) Decode(stream []byte) ([][]byte, H264Config, error) {
+	r := NewBitReader(stream)
+	nf, err := r.ReadUE()
+	if err != nil {
+		return nil, H264Config{}, err
+	}
+	w4, err := r.ReadUE()
+	if err != nil {
+		return nil, H264Config{}, err
+	}
+	h4, err := r.ReadUE()
+	if err != nil {
+		return nil, H264Config{}, err
+	}
+	qp, err := r.ReadUE()
+	if err != nil {
+		return nil, H264Config{}, err
+	}
+	cfg := H264Config{Width: int(w4) * 4, Height: int(h4) * 4, QP: int(qp)}
+	if err := cfg.validate(); err != nil {
+		return nil, cfg, err
+	}
+	frames := make([][]byte, 0, nf)
+	for fi := uint32(0); fi < nf; fi++ {
+		f, err := decodeFrame(r, cfg)
+		if err != nil {
+			return nil, cfg, fmt.Errorf("frame %d: %w", fi, err)
+		}
+		frames = append(frames, f)
+	}
+	return frames, cfg, nil
+}
+
+func decodeFrame(r *BitReader, cfg H264Config) ([]byte, error) {
+	f := make([]byte, cfg.Width*cfg.Height)
+	for by := 0; by < cfg.Height; by += 4 {
+		for bx := 0; bx < cfg.Width; bx += 4 {
+			coef, err := decodeBlock(r)
+			if err != nil {
+				return nil, err
+			}
+			var blk [16]int32
+			for i, zi := range zigzag4x4 {
+				blk[zi] = coef[i] * int32(cfg.QP) // dequant
+			}
+			wht4x4(&blk) // involution: undoes the forward pass up to gain 16
+			for rr := 0; rr < 4; rr++ {
+				for cc := 0; cc < 4; cc++ {
+					v := blk[4*rr+cc]/16 + 128
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					f[(by+rr)*cfg.Width+bx+cc] = byte(v)
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+func decodeBlock(r *BitReader) (*[16]int32, error) {
+	var coef [16]int32
+	nnz, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	if nnz > 16 {
+		return nil, fmt.Errorf("accel: block claims %d coefficients", nnz)
+	}
+	pos := 0
+	for i := uint32(0); i < nnz; i++ {
+		run, err := r.ReadUE()
+		if err != nil {
+			return nil, err
+		}
+		lvl, err := r.ReadSE()
+		if err != nil {
+			return nil, err
+		}
+		pos += int(run)
+		if pos >= 16 {
+			return nil, fmt.Errorf("accel: run overflows block")
+		}
+		coef[pos] = lvl
+		pos++
+	}
+	return &coef, nil
+}

@@ -1,0 +1,156 @@
+package accel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randFrame(rng *rand.Rand, w, h int) []byte {
+	f := make([]byte, w*h)
+	rng.Read(f)
+	return f
+}
+
+func smoothFrame(w, h int) []byte {
+	f := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f[y*w+x] = byte(128 + 40*(x%8)/8 - 20*(y%8)/8)
+		}
+	}
+	return f
+}
+
+func TestWHTInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		var b, orig [16]int32
+		for i := range b {
+			b[i] = int32(rng.Intn(511) - 255)
+			orig[i] = b[i]
+		}
+		wht4x4(&b)
+		wht4x4(&b)
+		for i := range b {
+			if b[i] != 16*orig[i] {
+				t.Fatalf("wht(wht(x)) != 16x at %d: %d vs %d", i, b[i], 16*orig[i])
+			}
+		}
+	}
+}
+
+func TestH264LosslessAtQP1(t *testing.T) {
+	cfg := H264Config{Width: 16, Height: 16, QP: 1}
+	enc, err := NewH264Encoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	frames := [][]byte{randFrame(rng, 16, 16), smoothFrame(16, 16)}
+	stream, err := enc.Encode(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotCfg, err := H264Decoder{}.Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg != cfg {
+		t.Fatalf("decoded config %+v, want %+v", gotCfg, cfg)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for fi := range frames {
+		for i := range frames[fi] {
+			if got[fi][i] != frames[fi][i] {
+				t.Fatalf("frame %d byte %d: %d != %d (QP=1 must be lossless)", fi, i, got[fi][i], frames[fi][i])
+			}
+		}
+	}
+}
+
+func TestH264LossBoundedByQP(t *testing.T) {
+	cfg := H264Config{Width: 32, Height: 32, QP: 8}
+	enc, _ := NewH264Encoder(cfg)
+	frame := smoothFrame(32, 32)
+	stream, err := enc.Encode([][]byte{frame})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := H264Decoder{}.Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantization error per coefficient <= QP/2; after the gain-16 inverse
+	// the pixel error is bounded by 16*(QP/2)/16 = QP/2 per basis sum, so a
+	// conservative bound is QP.
+	for i := range frame {
+		diff := int(got[0][i]) - int(frame[i])
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > cfg.QP {
+			t.Fatalf("pixel %d error %d exceeds QP bound %d", i, diff, cfg.QP)
+		}
+	}
+}
+
+func TestH264CompressionOnSmoothContent(t *testing.T) {
+	cfg := H264Config{Width: 64, Height: 64, QP: 6}
+	enc, _ := NewH264Encoder(cfg)
+	frame := smoothFrame(64, 64)
+	stream, err := enc.Encode([][]byte{frame})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) >= len(frame) {
+		t.Fatalf("smooth frame did not compress: %d >= %d", len(stream), len(frame))
+	}
+}
+
+func TestH264VariableFrameCount(t *testing.T) {
+	cfg := H264Config{Width: 8, Height: 8, QP: 2}
+	enc, _ := NewH264Encoder(cfg)
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 3, 7} {
+		frames := make([][]byte, n)
+		for i := range frames {
+			frames[i] = randFrame(rng, 8, 8)
+		}
+		stream, err := enc.Encode(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := H264Decoder{}.Decode(stream)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d frames", n, len(got))
+		}
+	}
+}
+
+func TestH264ConfigValidation(t *testing.T) {
+	bad := []H264Config{
+		{Width: 0, Height: 16, QP: 1},
+		{Width: 15, Height: 16, QP: 1},
+		{Width: 16, Height: 16, QP: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := NewH264Encoder(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	enc, _ := NewH264Encoder(H264Config{Width: 8, Height: 8, QP: 1})
+	if _, err := enc.Encode([][]byte{make([]byte, 63)}); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestH264DecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := (H264Decoder{}).Decode([]byte{0x00}); err == nil {
+		t.Fatal("garbage stream decoded")
+	}
+}

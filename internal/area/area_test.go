@@ -1,0 +1,156 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// paper holds the Table 4 ground truth.
+var paper = map[string]Resources{
+	"Ariane Tile":         {LUTs: 67083, Regs: 39879, BRAM: 41.5},
+	"Empty Cohort Tile":   {LUTs: 26390, Regs: 18591, BRAM: 9.5},
+	"Empty Cohort Engine": {LUTs: 2594, Regs: 3799, BRAM: 0},
+	"Cohort + AES":        {LUTs: 6679, Regs: 12176, BRAM: 47.5},
+	"Cohort + SHA":        {LUTs: 4524, Regs: 6064, BRAM: 0},
+	"MAPLE + AES + SHA":   {LUTs: 21066, Regs: 28276, BRAM: 47.5},
+	"AES Only":            {LUTs: 3837, Regs: 8531, BRAM: 47.5},
+	"SHA Only":            {LUTs: 2041, Regs: 2420, BRAM: 0},
+	"H264 Only":           {LUTs: 6851, Regs: 5341, BRAM: 4},
+}
+
+func within(got, want, tolPct float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want)/want <= tolPct/100
+}
+
+func TestTable4MatchesPaperWithinTolerance(t *testing.T) {
+	for _, row := range Table4() {
+		want, ok := paper[row.Name]
+		if !ok {
+			t.Fatalf("unexpected row %q", row.Name)
+		}
+		if !within(float64(row.Res.LUTs), float64(want.LUTs), 6) {
+			t.Errorf("%s LUTs = %d, paper %d (>6%% off)", row.Name, row.Res.LUTs, want.LUTs)
+		}
+		if !within(float64(row.Res.Regs), float64(want.Regs), 6) {
+			t.Errorf("%s Regs = %d, paper %d (>6%% off)", row.Name, row.Res.Regs, want.Regs)
+		}
+		if !within(row.Res.BRAM, want.BRAM, 1) {
+			t.Errorf("%s BRAM = %.1f, paper %.1f", row.Name, row.Res.BRAM, want.BRAM)
+		}
+	}
+}
+
+func TestMMUBreakdown(t *testing.T) {
+	// §6.3: MMU 1081 LUTs / 1206 regs; TLB 911/1029; PTW 168/109.
+	tlb := TLB(DefaultTLBParams())
+	if tlb.LUTs != 911 || tlb.Regs != 1029 {
+		t.Errorf("TLB = %d/%d, paper 911/1029", tlb.LUTs, tlb.Regs)
+	}
+	ptw := PTW()
+	if ptw.LUTs != 168 || ptw.Regs != 109 {
+		t.Errorf("PTW = %d/%d, paper 168/109", ptw.LUTs, ptw.Regs)
+	}
+	mmu := MMU(DefaultTLBParams())
+	if mmu.LUTs != 1081 || mmu.Regs != 1206 {
+		t.Errorf("MMU = %d/%d, paper 1081/1206", mmu.LUTs, mmu.Regs)
+	}
+	if mmu.BRAM != 0 {
+		t.Error("MMU must use no BRAM")
+	}
+}
+
+// The qualitative claims of §6.3 must hold as computed, not just the raw
+// numbers.
+func TestSection63Claims(t *testing.T) {
+	rows := map[string]Resources{}
+	for _, r := range Table4() {
+		rows[r.Name] = r.Res
+	}
+	eng := rows["Empty Cohort Engine"]
+	cohortTile := rows["Empty Cohort Tile"]
+	ariane := rows["Ariane Tile"]
+	aes := rows["AES Only"]
+	sha := rows["SHA Only"]
+	h264 := rows["H264 Only"]
+
+	if f := float64(eng.LUTs) / float64(cohortTile.LUTs); f < 0.08 || f > 0.12 {
+		t.Errorf("engine is %.0f%% of Cohort tile LUTs, paper says ~10%%", 100*f)
+	}
+	if f := float64(eng.Regs) / float64(cohortTile.Regs); f < 0.17 || f > 0.23 {
+		t.Errorf("engine is %.0f%% of Cohort tile regs, paper says ~20%%", 100*f)
+	}
+	if f := float64(eng.LUTs) / float64(ariane.LUTs); f >= 0.04 {
+		t.Errorf("engine is %.1f%% of Ariane tile LUTs, paper says <4%%", 100*f)
+	}
+	if f := float64(eng.Regs) / float64(ariane.Regs); f > 0.10 {
+		t.Errorf("engine is %.1f%% of Ariane tile regs, paper says ~10%%", 100*f)
+	}
+	if f := float64(cohortTile.LUTs) / float64(ariane.LUTs); f < 0.36 || f > 0.42 {
+		t.Errorf("Cohort tile is %.0f%% of Ariane tile LUTs, paper says ~39%%", 100*f)
+	}
+	if f := float64(eng.LUTs) / float64(aes.LUTs); f < 0.60 || f > 0.76 {
+		t.Errorf("engine is %.0f%% of AES LUTs, paper says ~68%%", 100*f)
+	}
+	if eng.LUTs <= sha.LUTs {
+		t.Error("engine should be somewhat larger than the small SHA core")
+	}
+	if f := float64(eng.LUTs) / float64(h264.LUTs); f < 0.33 || f > 0.42 {
+		t.Errorf("engine is %.0f%% of H264 LUTs, paper says ~37%%", 100*f)
+	}
+	for _, name := range []string{"Cohort + AES", "Cohort + SHA"} {
+		if rows[name].LUTs >= ariane.LUTs/2 {
+			t.Errorf("%s should be far smaller than an Ariane tile", name)
+		}
+	}
+	if h264.DSP != 6 {
+		t.Errorf("H264 DSPs = %d, paper 6", h264.DSP)
+	}
+}
+
+// The model must respond to its parameters, not just replay constants.
+func TestParametricMonotonicity(t *testing.T) {
+	small := TLB(TLBParams{Entries: 8, TagBits: 27, DataBits: 36})
+	big := TLB(TLBParams{Entries: 32, TagBits: 27, DataBits: 36})
+	if big.LUTs <= small.LUTs || big.Regs <= small.Regs {
+		t.Error("TLB area must grow with entries")
+	}
+	p := DefaultEngineParams()
+	wide := p
+	wide.DataWidth = 128
+	if Engine(wide).LUTs <= Engine(p).LUTs {
+		t.Error("engine area must grow with datapath width")
+	}
+	deep := p
+	deep.QueueDepth = 16
+	if Engine(deep).Regs <= Engine(p).Regs {
+		t.Error("engine registers must grow with queue depth")
+	}
+	if Ratchet(512).LUTs <= Ratchet(128).LUTs {
+		t.Error("ratchet area must grow with accelerator width")
+	}
+}
+
+func TestFormatContainsAllRows(t *testing.T) {
+	out := Format(Table4())
+	for name := range paper {
+		if !containsLine(out, name) {
+			t.Errorf("formatted table missing %q", name)
+		}
+	}
+}
+
+func containsLine(s, sub string) bool {
+	return len(s) > 0 && len(sub) > 0 && (len(s) >= len(sub)) && (stringContains(s, sub))
+}
+
+func stringContains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

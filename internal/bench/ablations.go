@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"cohort/internal/soc"
+)
+
+// Ablations quantify the design decisions DESIGN.md calls out: the RCM
+// backoff (§4.2.3), write-through vs cached pointer publication (the WCM),
+// MESI's exclusive grant, the Cohort TLB size (§4.1), and the endpoint
+// buffering depth. Each row re-runs the standard workload on a SoC that
+// differs in exactly one knob.
+
+// AblationRow is one configuration's measurement.
+type AblationRow struct {
+	Label  string
+	Cycles uint64
+	IPC    float64
+}
+
+// AblationStudy is a named set of rows over one workload.
+type AblationStudy struct {
+	Name     string
+	Workload Workload
+	Rows     []AblationRow
+}
+
+// Format renders the study with a relative-slowdown column against the
+// first row.
+func (a *AblationStudy) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%v, cycles lower is better)\n", a.Name, a.Workload)
+	base := float64(a.Rows[0].Cycles)
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "  %-34s %10d cycles  %6.2fx  IPC %.3f\n",
+			r.Label, r.Cycles, float64(r.Cycles)/base, r.IPC)
+	}
+	return b.String()
+}
+
+func ablationPoint(w Workload, size int, label string, mutate func(*soc.Config)) (AblationRow, error) {
+	cfg := soc.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := Run(RunConfig{Workload: w, Mode: Cohort, QueueSize: size, Batch: 64, Verify: true, SoC: &cfg})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{Label: label, Cycles: r.Cycles, IPC: r.IPC}, nil
+}
+
+// BackoffAblation sweeps the RCM backoff period.
+func BackoffAblation(w Workload, size int, backoffs []uint64) (*AblationStudy, error) {
+	st := &AblationStudy{Name: "RCM backoff sweep", Workload: w}
+	for _, bo := range backoffs {
+		bo := bo
+		row, err := ablationPoint(w, size, fmt.Sprintf("backoff=%d", bo),
+			func(c *soc.Config) { c.EngineBackoff = bo })
+		if err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+	}
+	return st, nil
+}
+
+// PointerAblation compares the calibrated write-through WCM against cached
+// pointer publication.
+func PointerAblation(w Workload, size int) (*AblationStudy, error) {
+	st := &AblationStudy{Name: "WCM pointer publication", Workload: w}
+	for _, v := range []struct {
+		label  string
+		cached bool
+	}{
+		{"write-through (paper WCM)", false},
+		{"cached (engine owns pointer lines)", true},
+	} {
+		v := v
+		row, err := ablationPoint(w, size, v.label,
+			func(c *soc.Config) { c.EngineCachedPointers = v.cached })
+		if err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+	}
+	return st, nil
+}
+
+// CoherenceAblation compares MESI's exclusive grant against plain MSI.
+func CoherenceAblation(w Workload, size int) (*AblationStudy, error) {
+	st := &AblationStudy{Name: "MESI vs MSI", Workload: w}
+	for _, v := range []struct {
+		label string
+		mesi  bool
+	}{
+		{"MESI (silent E->M upgrades)", true},
+		{"MSI (every first write upgrades)", false},
+	} {
+		v := v
+		row, err := ablationPoint(w, size, v.label,
+			func(c *soc.Config) { c.Cache.ExclusiveGrant = v.mesi })
+		if err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+	}
+	return st, nil
+}
+
+// TLBAblation sweeps the Cohort TLB size around the paper's 16 entries.
+func TLBAblation(w Workload, size int, entries []int) (*AblationStudy, error) {
+	st := &AblationStudy{Name: "Cohort TLB size", Workload: w}
+	for _, n := range entries {
+		n := n
+		row, err := ablationPoint(w, size, fmt.Sprintf("tlb=%d entries", n),
+			func(c *soc.Config) { c.EngineTLBEntries = n })
+		if err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+	}
+	return st, nil
+}
+
+// QueueDepthAblation sweeps the endpoint-to-accelerator buffering.
+func QueueDepthAblation(w Workload, size int, depths []int) (*AblationStudy, error) {
+	st := &AblationStudy{Name: "Endpoint valid/ready depth", Workload: w}
+	for _, d := range depths {
+		d := d
+		row, err := ablationPoint(w, size, fmt.Sprintf("depth=%d words", d),
+			func(c *soc.Config) { c.EngineQueueDepth = d })
+		if err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+	}
+	return st, nil
+}
+
+// DefaultAblations runs every study at a representative size.
+func DefaultAblations(size int) ([]*AblationStudy, error) {
+	var out []*AblationStudy
+	for _, w := range []Workload{SHA, AES} {
+		for _, f := range []func() (*AblationStudy, error){
+			func() (*AblationStudy, error) {
+				return BackoffAblation(w, size, []uint64{8, 64, 450, 2000})
+			},
+			func() (*AblationStudy, error) { return PointerAblation(w, size) },
+			func() (*AblationStudy, error) { return CoherenceAblation(w, size) },
+			func() (*AblationStudy, error) { return TLBAblation(w, size, []int{2, 4, 16, 64}) },
+			func() (*AblationStudy, error) {
+				return QueueDepthAblation(w, size, []int{1, 4, 16, 64})
+			},
+		} {
+			st, err := f()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st)
+		}
+	}
+	return out, nil
+}

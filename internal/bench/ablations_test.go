@@ -1,0 +1,67 @@
+package bench
+
+import "testing"
+
+func TestPointerAblationDirection(t *testing.T) {
+	st, err := PointerAblation(AES, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 2 {
+		t.Fatalf("rows %d", len(st.Rows))
+	}
+	// Both variants must still compute correct results (Verify is on inside
+	// ablationPoint); cached pointers should not be catastrophically slower.
+	for _, r := range st.Rows {
+		if r.Cycles == 0 {
+			t.Fatalf("row %s degenerate", r.Label)
+		}
+	}
+}
+
+func TestBackoffAblationMonotoneAtExtremes(t *testing.T) {
+	st, err := BackoffAblation(AES, 128, []uint64{8, 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4000-cycle backoff forces long sleeps on every wakeup; it must not
+	// be faster than a snappy 8-cycle backoff for a small run.
+	if st.Rows[1].Cycles < st.Rows[0].Cycles {
+		t.Fatalf("backoff=4000 (%d) faster than backoff=8 (%d)",
+			st.Rows[1].Cycles, st.Rows[0].Cycles)
+	}
+}
+
+func TestTLBAblationTinyTLBHurts(t *testing.T) {
+	// Queues at size 512 span ~9+ pages per queue; a 2-entry Cohort TLB
+	// must thrash against a 64-entry one.
+	st, err := TLBAblation(SHA, 512, []int{2, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows[0].Cycles <= st.Rows[1].Cycles {
+		t.Fatalf("tlb=2 (%d cycles) not slower than tlb=64 (%d cycles)",
+			st.Rows[0].Cycles, st.Rows[1].Cycles)
+	}
+}
+
+func TestQueueDepthAblationShallowHurtsSHA(t *testing.T) {
+	st, err := QueueDepthAblation(SHA, 256, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows[0].Cycles <= st.Rows[1].Cycles {
+		t.Fatalf("depth=1 (%d) not slower than depth=16 (%d)",
+			st.Rows[0].Cycles, st.Rows[1].Cycles)
+	}
+}
+
+func TestCoherenceAblationRuns(t *testing.T) {
+	st, err := CoherenceAblation(SHA, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Format() == "" {
+		t.Fatal("empty format")
+	}
+}

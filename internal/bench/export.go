@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports a figure's series as tidy CSV (size,series,value) for
+// external plotting.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"queue_size", "series", f.YLabel}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if len(s.Values) != len(f.Sizes) {
+			return fmt.Errorf("bench: series %q has %d values for %d sizes", s.Name, len(s.Values), len(f.Sizes))
+		}
+		for i, v := range s.Values {
+			if err := cw.Write([]string{
+				strconv.Itoa(f.Sizes[i]),
+				s.Name,
+				strconv.FormatFloat(v, 'f', 4, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports the Table 3 section as CSV.
+func (r *SpeedupRows) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "queue_size", "vs_mmio", "vs_dma", "with_batching"}); err != nil {
+		return err
+	}
+	for i, size := range r.Sizes {
+		if err := cw.Write([]string{
+			r.Workload.String(),
+			strconv.Itoa(size),
+			strconv.FormatFloat(r.VsMMIO[i], 'f', 4, 64),
+			strconv.FormatFloat(r.VsDMA[i], 'f', 4, 64),
+			strconv.FormatFloat(r.WithBatching[i], 'f', 4, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

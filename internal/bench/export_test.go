@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestFigureCSVExport(t *testing.T) {
+	f := &Figure{
+		Title: "t", YLabel: "kilocycles", Sizes: []int{64, 128},
+		Series: []Series{{Name: "a", Values: []float64{1.5, 2.5}}, {Name: "b", Values: []float64{3, 4}}},
+	}
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // header + 4 points
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][0] != "64" || rows[1][1] != "a" || rows[1][2] != "1.5000" {
+		t.Fatalf("row %v", rows[1])
+	}
+	// Mismatched series length is an error, not silent truncation.
+	bad := &Figure{Sizes: []int{1, 2}, Series: []Series{{Name: "x", Values: []float64{9}}}}
+	if err := bad.WriteCSV(&sb); err == nil {
+		t.Fatal("ragged series exported")
+	}
+}
+
+func TestSpeedupCSVExport(t *testing.T) {
+	r := &SpeedupRows{Workload: SHA, Sizes: []int{64}, VsMMIO: []float64{5.5}, VsDMA: []float64{7.7}, WithBatching: []float64{2.5}}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "SHA,64,5.5000,7.7000,2.5000") {
+		t.Fatalf("csv: %s", sb.String())
+	}
+}

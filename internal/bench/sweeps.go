@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Suite runs and caches benchmark points so figures and tables that share
+// configurations reuse measurements (each point still runs on its own fresh
+// SoC).
+type Suite struct {
+	P      Params
+	Verify bool
+	cache  map[RunConfig]Result
+}
+
+// NewSuite builds a suite over the given parameters.
+func NewSuite(p Params, verify bool) *Suite {
+	return &Suite{P: p, Verify: verify, cache: make(map[RunConfig]Result)}
+}
+
+func (s *Suite) result(cfg RunConfig) (Result, error) {
+	cfg.Verify = s.Verify
+	if r, ok := s.cache[cfg]; ok {
+		return r, nil
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		return r, err
+	}
+	s.cache[cfg] = r
+	return r, nil
+}
+
+// BatchFactors returns the batching sweep for a workload: Cohort starts at a
+// batch of one accelerator input block (8 for SHA, 2 for AES) up to
+// MaxBatch, doubling (Figures 8/9).
+func (s *Suite) BatchFactors(w Workload) []int {
+	in, _ := w.ratio()
+	min := s.P.MinBatch
+	if min < in {
+		min = in
+	}
+	var out []int
+	for b := min; b <= s.P.MaxBatch; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Series is one curve of a figure, indexed by the figure's queue sizes.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure is a reproduced paper figure as numeric series.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Sizes  []int
+	Series []Series
+}
+
+// Format renders the figure as an aligned text table.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s vs %s\n", f.Title, f.YLabel, f.XLabel)
+	fmt.Fprintf(&b, "%-18s", "")
+	for _, s := range f.Sizes {
+		fmt.Fprintf(&b, "%10d", s)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-18s", s.Name)
+		for _, v := range s.Values {
+			fmt.Fprintf(&b, "%10.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LatencyFigure reproduces Figure 8 (SHA) or Figure 9 (AES): program latency
+// in kilocycles per queue size, one series per Cohort batching factor plus
+// the MMIO and DMA baselines.
+func (s *Suite) LatencyFigure(w Workload) (*Figure, error) {
+	sizes := s.P.QueueSizes()
+	f := &Figure{
+		Title:  fmt.Sprintf("Program Latency with %s accelerator", w),
+		XLabel: "queue size (elements)",
+		YLabel: "latency (kilocycles)",
+		Sizes:  sizes,
+	}
+	for _, batch := range s.BatchFactors(w) {
+		ser := Series{Name: fmt.Sprintf("Cohort batch=%d", batch)}
+		for _, size := range sizes {
+			r, err := s.result(RunConfig{Workload: w, Mode: Cohort, QueueSize: size, Batch: batch})
+			if err != nil {
+				return nil, err
+			}
+			ser.Values = append(ser.Values, r.KiloCycles())
+		}
+		f.Series = append(f.Series, ser)
+	}
+	for _, mode := range []Mode{MMIO, DMA} {
+		ser := Series{Name: mode.String()}
+		for _, size := range sizes {
+			r, err := s.result(RunConfig{Workload: w, Mode: mode, QueueSize: size})
+			if err != nil {
+				return nil, err
+			}
+			ser.Values = append(ser.Values, r.KiloCycles())
+		}
+		f.Series = append(f.Series, ser)
+	}
+	return f, nil
+}
+
+// IPCFigure reproduces Figure 10 (SHA) or Figure 11 (AES): the core's IPC
+// with Cohort (batch = MaxBatch) relative to its IPC under each baseline.
+func (s *Suite) IPCFigure(w Workload) (*Figure, error) {
+	sizes := s.P.QueueSizes()
+	f := &Figure{
+		Title:  fmt.Sprintf("IPC Performance with %s accelerator", w),
+		XLabel: "queue size (elements)",
+		YLabel: "IPC speedup ratio",
+		Sizes:  sizes,
+	}
+	over := func(base Mode) (Series, error) {
+		ser := Series{Name: "Speedup over " + base.String()}
+		for _, size := range sizes {
+			c, err := s.result(RunConfig{Workload: w, Mode: Cohort, QueueSize: size, Batch: s.P.MaxBatch})
+			if err != nil {
+				return ser, err
+			}
+			b, err := s.result(RunConfig{Workload: w, Mode: base, QueueSize: size})
+			if err != nil {
+				return ser, err
+			}
+			ser.Values = append(ser.Values, c.IPC/b.IPC)
+		}
+		return ser, nil
+	}
+	for _, base := range []Mode{MMIO, DMA} {
+		ser, err := over(base)
+		if err != nil {
+			return nil, err
+		}
+		f.Series = append(f.Series, ser)
+	}
+	return f, nil
+}
+
+// SpeedupRows is one workload's section of Table 3.
+type SpeedupRows struct {
+	Workload     Workload
+	Sizes        []int
+	VsMMIO       []float64 // Cohort(batch=Max) latency speedup over MMIO
+	VsDMA        []float64
+	WithBatching []float64 // Cohort(batch=min) / Cohort(batch=Max)
+}
+
+// SpeedupTable reproduces Table 3: peak speedups for Cohort with batch=64.
+func (s *Suite) SpeedupTable(w Workload) (*SpeedupRows, error) {
+	sizes := s.P.QueueSizes()
+	rows := &SpeedupRows{Workload: w, Sizes: sizes}
+	minBatch := s.BatchFactors(w)[0]
+	for _, size := range sizes {
+		c, err := s.result(RunConfig{Workload: w, Mode: Cohort, QueueSize: size, Batch: s.P.MaxBatch})
+		if err != nil {
+			return nil, err
+		}
+		m, err := s.result(RunConfig{Workload: w, Mode: MMIO, QueueSize: size})
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.result(RunConfig{Workload: w, Mode: DMA, QueueSize: size})
+		if err != nil {
+			return nil, err
+		}
+		cMin, err := s.result(RunConfig{Workload: w, Mode: Cohort, QueueSize: size, Batch: minBatch})
+		if err != nil {
+			return nil, err
+		}
+		rows.VsMMIO = append(rows.VsMMIO, float64(m.Cycles)/float64(c.Cycles))
+		rows.VsDMA = append(rows.VsDMA, float64(d.Cycles)/float64(c.Cycles))
+		rows.WithBatching = append(rows.WithBatching, float64(cMin.Cycles)/float64(c.Cycles))
+	}
+	return rows, nil
+}
+
+// Format renders a Table 3 section.
+func (r *SpeedupRows) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s Speedup (Cohort batch=max)\n", r.Workload)
+	fmt.Fprintf(&b, "%-14s", "Queue size")
+	for _, s := range r.Sizes {
+		fmt.Fprintf(&b, "%8d", s)
+	}
+	b.WriteByte('\n')
+	row := func(name string, vs []float64) {
+		fmt.Fprintf(&b, "%-14s", name)
+		for _, v := range vs {
+			fmt.Fprintf(&b, "%8.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	row("Vs MMIO", r.VsMMIO)
+	row("Vs DMA", r.VsDMA)
+	row("W/ Batching", r.WithBatching)
+	return b.String()
+}
+
+// Range returns the min and max of a slice (for headline claims).
+func Range(vs []float64) (lo, hi float64) {
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

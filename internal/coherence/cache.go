@@ -1,0 +1,491 @@
+package coherence
+
+import (
+	"fmt"
+
+	"cohort/internal/mem"
+	"cohort/internal/noc"
+	"cohort/internal/sim"
+)
+
+// lineState is a cache line's MESI state.
+type lineState int
+
+const (
+	stateI lineState = iota
+	stateS
+	stateE
+	stateM
+)
+
+func (s lineState) String() string { return [...]string{"I", "S", "E", "M"}[s] }
+
+type way struct {
+	valid   bool
+	line    mem.PAddr
+	state   lineState
+	data    [mem.LineSize]byte
+	lastUse uint64
+}
+
+// mshr tracks one in-flight transaction for a line: a fetch (GetS/GetM
+// awaiting data) or an eviction (PutM awaiting PutAck, holding the dirty
+// data so incoming Fetches can still be answered).
+type mshr struct {
+	line   mem.PAddr
+	isPut  bool
+	isOnce bool
+	data   [mem.LineSize]byte // PutM write-back buffer / GetOnce result
+	done   *sim.Signal
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Hits        uint64
+	Misses      uint64
+	Upgrades    uint64 // S->M GetM requests
+	Writebacks  uint64
+	InvsRecv    uint64
+	FetchesRecv uint64
+	// FetchFromPutBuf counts Fetches answered from an in-flight PutM's
+	// write-back buffer — the one genuine protocol race, handled explicitly.
+	FetchFromPutBuf uint64
+}
+
+// Cache is a private write-back MESI cache attached to one tile. Client
+// operations (Read/Write) are blocking process calls; protocol messages are
+// handled in kernel context.
+type Cache struct {
+	sys  *System
+	tile int
+	name string
+	cfg  Config
+
+	sets     [][]way
+	useClock uint64
+	mshrs    map[mem.PAddr]*mshr
+	// pendingInstalls holds responses whose set had no evictable way; they
+	// retry whenever an MSHR completes.
+	pendingInstalls []response
+	invHooks        []func(line mem.PAddr)
+	stats           CacheStats
+}
+
+func newCache(sys *System, tile int, name string) *Cache {
+	c := &Cache{
+		sys:   sys,
+		tile:  tile,
+		name:  name,
+		cfg:   sys.cfg,
+		sets:  make([][]way, sys.cfg.Sets),
+		mshrs: make(map[mem.PAddr]*mshr),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, sys.cfg.Ways)
+	}
+	sys.net.Attach(tile, noc.PortCache, c.handle)
+	return c
+}
+
+// Tile returns the tile this cache lives on.
+func (c *Cache) Tile() int { return c.tile }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = CacheStats{} }
+
+// OnInvalidate registers fn to run (kernel context) whenever an external
+// invalidation for a line arrives — the primitive Cohort's Reader Coherency
+// Manager is built on.
+func (c *Cache) OnInvalidate(fn func(line mem.PAddr)) {
+	c.invHooks = append(c.invHooks, fn)
+}
+
+func (c *Cache) setIndex(line mem.PAddr) int {
+	return int((line / mem.LineSize) % uint64(c.cfg.Sets))
+}
+
+// lookup returns the way holding line, or nil.
+func (c *Cache) lookup(line mem.PAddr) *way {
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Read copies size bytes at physical address pa into buf, performing
+// whatever coherence transactions are needed. Blocking process call.
+func (c *Cache) Read(p *sim.Proc, pa mem.PAddr, buf []byte) {
+	for len(buf) > 0 {
+		line := mem.LineOf(pa)
+		off := mem.LineOffset(pa)
+		n := mem.LineSize - int(off)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		w := c.ensure(p, line, false)
+		copy(buf[:n], w.data[off:int(off)+n])
+		c.touch(w)
+		p.Wait(c.cfg.HitLatency)
+		buf = buf[n:]
+		pa += uint64(n)
+	}
+}
+
+// Write stores data at physical address pa. Blocking process call.
+func (c *Cache) Write(p *sim.Proc, pa mem.PAddr, data []byte) {
+	for len(data) > 0 {
+		line := mem.LineOf(pa)
+		off := mem.LineOffset(pa)
+		n := mem.LineSize - int(off)
+		if n > len(data) {
+			n = len(data)
+		}
+		w := c.ensure(p, line, true)
+		copy(w.data[off:int(off)+n], data[:n])
+		w.state = stateM
+		c.touch(w)
+		p.Wait(c.cfg.HitLatency)
+		data = data[n:]
+		pa += uint64(n)
+	}
+}
+
+// ReadOnceU64 performs a coherent *non-caching* 64-bit load: the current
+// value is obtained from the home directory (downgrading any remote owner)
+// but the line is not installed locally. This is how hardware page-table
+// walkers read PTEs — page tables are updated by software outside the
+// caches, so a PTW must never trap a stale copy in its own L1.
+func (c *Cache) ReadOnceU64(p *sim.Proc, pa mem.PAddr) uint64 {
+	line := mem.LineOf(pa)
+	for {
+		if m, busy := c.mshrs[line]; busy {
+			m.done.Wait(p)
+			continue
+		}
+		break
+	}
+	m := &mshr{line: line, isOnce: true, done: sim.NewSignal(c.sys.k)}
+	c.mshrs[line] = m
+	c.sys.net.Send(c.tile, c.sys.home(line), noc.PortDir, ctrlMsgBytes,
+		request{kind: reqGetOnce, line: line, src: c.tile})
+	m.done.Wait(p)
+	return le64(m.data[mem.LineOffset(pa) : mem.LineOffset(pa)+8])
+}
+
+// WriteOnceU64 performs a coherent *non-caching* 64-bit store: any remote
+// copies are invalidated, the word lands in the backing store, and no local
+// copy is installed. This is how the Cohort WCM publishes queue pointers —
+// the invalidation it triggers at the consumer is the queue-coherence
+// doorbell, while the writer's cache stays out of the pointer line's
+// ownership ping-pong.
+func (c *Cache) WriteOnceU64(p *sim.Proc, pa mem.PAddr, v uint64) {
+	c.WriteOnceSpan(p, pa, []uint64{v})
+}
+
+// WriteOnceSpan writes consecutive 64-bit words as coherent non-caching
+// transactions, one per line touched. The Cohort producer endpoint writes
+// each accelerator output block this way: one transaction per block, then
+// the write-pointer publication (the WCM ordering of §4.2.3).
+func (c *Cache) WriteOnceSpan(p *sim.Proc, pa mem.PAddr, words []uint64) {
+	for len(words) > 0 {
+		line := mem.LineOf(pa)
+		n := (mem.LineSize - int(mem.LineOffset(pa))) / 8
+		if n > len(words) {
+			n = len(words)
+		}
+		chunk := append([]uint64(nil), words[:n]...)
+		for {
+			if m, busy := c.mshrs[line]; busy {
+				m.done.Wait(p)
+				continue
+			}
+			break
+		}
+		if w := c.lookup(line); w != nil {
+			if w.state == stateM {
+				panic(fmt.Sprintf("%s: WriteOnce to a line held Modified (mixed cached/uncached writes)", c.name))
+			}
+			w.valid = false // drop the clean local copy; the directory treats us as gone
+		}
+		m := &mshr{line: line, isOnce: true, done: sim.NewSignal(c.sys.k)}
+		c.mshrs[line] = m
+		c.sys.net.Send(c.tile, c.sys.home(line), noc.PortDir, ctrlMsgBytes+8*n,
+			request{kind: reqPutOnce, line: line, src: c.tile, words: chunk, wordOff: mem.LineOffset(pa)})
+		m.done.Wait(p)
+		words = words[n:]
+		pa += uint64(8 * n)
+	}
+}
+
+// ReadU64 is a convenience for the 8-byte loads queue code performs.
+func (c *Cache) ReadU64(p *sim.Proc, pa mem.PAddr) uint64 {
+	var b [8]byte
+	c.Read(p, pa, b[:])
+	return le64(b[:])
+}
+
+// WriteU64 is the store counterpart of ReadU64.
+func (c *Cache) WriteU64(p *sim.Proc, pa mem.PAddr, v uint64) {
+	var b [8]byte
+	putLE64(b[:], v)
+	c.Write(p, pa, b[:])
+}
+
+func (c *Cache) touch(w *way) {
+	c.useClock++
+	w.lastUse = c.useClock
+}
+
+// ensure blocks until the line is present with sufficient permission and
+// returns its way.
+func (c *Cache) ensure(p *sim.Proc, line mem.PAddr, forWrite bool) *way {
+	firstTry := true
+	for {
+		if m, busy := c.mshrs[line]; busy {
+			// A transaction for this line is in flight (ours or an
+			// eviction); wait for it to settle and re-examine.
+			firstTry = false
+			m.done.Wait(p)
+			continue
+		}
+		w := c.lookup(line)
+		if w != nil {
+			usable := !forWrite || w.state == stateM || w.state == stateE
+			if usable {
+				if w.state == stateE && forWrite {
+					// Silent E->M upgrade: MESI's whole point.
+					w.state = stateM
+				}
+				if firstTry {
+					c.stats.Hits++
+				}
+				return w
+			}
+			// S, want M: upgrade request.
+			c.stats.Upgrades++
+			firstTry = false
+			c.request(p, line, reqGetM)
+			continue
+		}
+		if firstTry {
+			c.stats.Misses++
+			firstTry = false
+		}
+		if forWrite {
+			c.request(p, line, reqGetM)
+		} else {
+			c.request(p, line, reqGetS)
+		}
+	}
+}
+
+// request allocates an MSHR, sends the request to the home directory, and
+// parks until the transaction completes.
+func (c *Cache) request(p *sim.Proc, line mem.PAddr, kind reqKind) {
+	m := &mshr{line: line, done: sim.NewSignal(c.sys.k)}
+	c.mshrs[line] = m
+	c.sys.net.Send(c.tile, c.sys.home(line), noc.PortDir, ctrlMsgBytes,
+		request{kind: kind, line: line, src: c.tile})
+	m.done.Wait(p)
+}
+
+// handle processes directory responses in kernel context.
+func (c *Cache) handle(msg noc.Msg) {
+	r := msg.Payload.(response)
+	switch r.kind {
+	case respDataS, respDataE, respDataM:
+		c.install(r)
+	case respDataOnce:
+		m := c.mshrs[r.line]
+		if m == nil || !m.isOnce {
+			panic(fmt.Sprintf("%s: DataOnce for line %#x with no GetOnce outstanding", c.name, r.line))
+		}
+		m.data = *r.data
+		delete(c.mshrs, r.line)
+		m.done.Fire()
+		c.retryInstalls()
+	case respWriteAck:
+		m := c.mshrs[r.line]
+		if m == nil || !m.isOnce {
+			panic(fmt.Sprintf("%s: WriteAck for line %#x with no PutOnce outstanding", c.name, r.line))
+		}
+		delete(c.mshrs, r.line)
+		m.done.Fire()
+		c.retryInstalls()
+	case respInv:
+		c.stats.InvsRecv++
+		if w := c.lookup(r.line); w != nil {
+			w.valid = false
+		}
+		for _, h := range c.invHooks {
+			h(r.line)
+		}
+		c.sys.net.Send(c.tile, msg.Src, noc.PortDir, ctrlMsgBytes,
+			ack{line: r.line, src: c.tile})
+	case respFetch:
+		c.stats.FetchesRecv++
+		c.handleFetch(msg.Src, r)
+	case respPutAck:
+		m := c.mshrs[r.line]
+		if m == nil || !m.isPut {
+			panic(fmt.Sprintf("%s: PutAck for line %#x with no PutM outstanding", c.name, r.line))
+		}
+		delete(c.mshrs, r.line)
+		m.done.Fire()
+		c.retryInstalls()
+	default:
+		panic(fmt.Sprintf("%s: unexpected response %v", c.name, r.kind))
+	}
+}
+
+func (c *Cache) handleFetch(dirTile int, r response) {
+	reply := ack{line: r.line, src: c.tile, isFetch: true}
+	if w := c.lookup(r.line); w != nil && (w.state == stateM || w.state == stateE) {
+		data := w.data
+		reply.data = &data
+		reply.hasData = true
+		if r.downgrade {
+			w.state = stateS
+		} else {
+			w.valid = false
+			for _, h := range c.invHooks {
+				h(r.line)
+			}
+		}
+	} else if m := c.mshrs[r.line]; m != nil && m.isPut {
+		// PutM crossed this Fetch in flight; answer from the write-back
+		// buffer and let the PutAck finish the eviction.
+		c.stats.FetchFromPutBuf++
+		data := m.data
+		reply.data = &data
+		reply.hasData = true
+	}
+	// Otherwise: the line was silently evicted clean; the directory's
+	// backing copy is current, tell it so with a dataless response.
+	size := ctrlMsgBytes
+	if reply.hasData {
+		size = dataMsgBytes
+	}
+	c.sys.net.Send(c.tile, dirTile, noc.PortDir, size, reply)
+}
+
+// install places arriving data into the cache, evicting if necessary, then
+// completes the line's MSHR.
+func (c *Cache) install(r response) {
+	st := stateS
+	switch r.kind {
+	case respDataE:
+		st = stateE
+	case respDataM:
+		st = stateM
+	}
+	// An upgrade keeps its S way; reuse it.
+	w := c.lookup(r.line)
+	if w == nil {
+		w = c.victim(r.line)
+		if w == nil {
+			// Every way in the set is pinned by an in-flight upgrade;
+			// retry when some transaction completes.
+			c.pendingInstalls = append(c.pendingInstalls, r)
+			return
+		}
+		c.evict(w)
+	}
+	w.valid = true
+	w.line = r.line
+	w.state = st
+	w.data = *r.data
+	c.touch(w)
+	m := c.mshrs[r.line]
+	if m == nil {
+		panic(fmt.Sprintf("%s: data for line %#x with no MSHR", c.name, r.line))
+	}
+	delete(c.mshrs, r.line)
+	m.done.Fire()
+	c.retryInstalls()
+}
+
+// victim picks a replacement way in line's set: an invalid way if any,
+// otherwise the least recently used way not pinned by an in-flight upgrade.
+func (c *Cache) victim(line mem.PAddr) *way {
+	set := c.sets[c.setIndex(line)]
+	var lru *way
+	for i := range set {
+		w := &set[i]
+		if !w.valid {
+			return w
+		}
+		if _, pinned := c.mshrs[w.line]; pinned {
+			continue
+		}
+		if lru == nil || w.lastUse < lru.lastUse {
+			lru = w
+		}
+	}
+	return lru
+}
+
+// evict removes w from the cache, writing back via PutM if it is owned.
+func (c *Cache) evict(w *way) {
+	if !w.valid {
+		return
+	}
+	if w.state == stateM {
+		c.stats.Writebacks++
+		m := &mshr{line: w.line, isPut: true, data: w.data, done: sim.NewSignal(c.sys.k)}
+		c.mshrs[w.line] = m
+		data := w.data
+		c.sys.net.Send(c.tile, c.sys.home(w.line), noc.PortDir, dataMsgBytes,
+			request{kind: reqPutM, line: w.line, src: c.tile, data: &data})
+	}
+	// S and clean-E lines drop silently.
+	w.valid = false
+}
+
+func (c *Cache) retryInstalls() {
+	if len(c.pendingInstalls) == 0 {
+		return
+	}
+	pend := c.pendingInstalls
+	c.pendingInstalls = nil
+	for _, r := range pend {
+		c.install(r)
+	}
+}
+
+// flushForTest writes every owned line back to backing memory directly,
+// bypassing timing. Only for end-of-test verification.
+func (c *Cache) flushForTest() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			w := &c.sets[si][wi]
+			if w.valid && w.state == stateM {
+				c.sys.mem.WriteLine(w.line, w.data)
+			}
+		}
+	}
+	for _, m := range c.mshrs {
+		if m.isPut {
+			c.sys.mem.WriteLine(m.line, m.data)
+		}
+	}
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,340 @@
+package coherence
+
+import (
+	"fmt"
+
+	"cohort/internal/mem"
+	"cohort/internal/noc"
+)
+
+// dirState is a directory line's stable state.
+type dirState int
+
+const (
+	dirU dirState = iota // uncached anywhere
+	dirS                 // shared by >= 1 caches
+	dirX                 // exclusively owned (E or M at the owner)
+)
+
+type dirLine struct {
+	state    dirState
+	sharers  uint64 // bitset of sharer tiles (deterministic iteration order)
+	owner    int
+	resident bool // line has been filled into the L2 (first touch pays DRAM)
+
+	busy     bool
+	queue    []request
+	pending  *request // transaction waiting for FetchResp/InvAcks
+	waitAcks int
+	fetching int // tile a Fetch is outstanding to, -1 otherwise
+}
+
+// DirStats counts directory events.
+type DirStats struct {
+	GetS, GetM, PutM uint64
+	GetOnce          uint64
+	PutOnce          uint64
+	InvSent          uint64
+	FetchSent        uint64
+}
+
+// bank is one home directory slice, colocated with a tile (like an OpenPiton
+// L2 slice). Lines are interleaved across banks by line address.
+type bank struct {
+	sys   *System
+	tile  int
+	lines map[mem.PAddr]*dirLine
+}
+
+func newBank(sys *System, tile int) *bank {
+	b := &bank{sys: sys, tile: tile, lines: make(map[mem.PAddr]*dirLine)}
+	sys.net.Attach(tile, noc.PortDir, b.handle)
+	return b
+}
+
+func (b *bank) line(addr mem.PAddr) *dirLine {
+	l := b.lines[addr]
+	if l == nil {
+		l = &dirLine{owner: -1, fetching: -1}
+		b.lines[addr] = l
+	}
+	return l
+}
+
+func (b *bank) handle(msg noc.Msg) {
+	switch pl := msg.Payload.(type) {
+	case request:
+		l := b.line(pl.line)
+		l.queue = append(l.queue, pl)
+		if !l.busy {
+			b.next(pl.line, l)
+		}
+	case ack:
+		b.onAck(pl)
+	default:
+		panic(fmt.Sprintf("dir[%d]: unexpected payload %T", b.tile, msg.Payload))
+	}
+}
+
+// next pops the line's request queue. The blocking-directory invariant: busy
+// stays true from pop to transaction completion.
+func (b *bank) next(addr mem.PAddr, l *dirLine) {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	r := l.queue[0]
+	l.queue = l.queue[1:]
+	lat := b.sys.cfg.DirLatency
+	if !l.resident {
+		lat += b.sys.cfg.MemLatency
+		l.resident = true
+	}
+	b.sys.k.After(lat, func() { b.process(addr, l, r) })
+}
+
+func (b *bank) process(addr mem.PAddr, l *dirLine, r request) {
+	switch r.kind {
+	case reqGetS:
+		b.sys.stats.GetS++
+		b.getS(addr, l, r)
+	case reqGetM:
+		b.sys.stats.GetM++
+		b.getM(addr, l, r)
+	case reqPutM:
+		b.sys.stats.PutM++
+		b.putM(addr, l, r)
+	case reqGetOnce:
+		b.sys.stats.GetOnce++
+		b.getOnce(addr, l, r)
+	case reqPutOnce:
+		b.sys.stats.PutOnce++
+		b.putOnce(addr, l, r)
+	}
+}
+
+// putOnce services a coherent non-caching word write: current holders are
+// invalidated (or the owner fetched), the word lands in the backing store,
+// and the writer gets an ack. This is how the Cohort WCM publishes queue
+// pointers — the resulting invalidation at the consumer *is* the queue-
+// coherence doorbell.
+func (b *bank) putOnce(addr mem.PAddr, l *dirLine, r request) {
+	switch l.state {
+	case dirX:
+		if l.owner == r.src {
+			// The writer held a clean E copy from an earlier cached read and
+			// dropped it when issuing the uncached write.
+			b.completePutOnce(addr, l, r)
+			b.next(addr, l)
+			return
+		}
+		l.pending = &r
+		l.fetching = l.owner
+		b.sys.stats.FetchSent++
+		b.sys.net.Send(b.tile, l.owner, noc.PortCache, ctrlMsgBytes,
+			response{kind: respFetch, line: addr, downgrade: false})
+	case dirS:
+		invs := 0
+		for t := 0; t < 64; t++ {
+			if l.sharers&(1<<t) == 0 || t == r.src {
+				continue
+			}
+			invs++
+			b.sys.stats.InvSent++
+			b.sys.net.Send(b.tile, t, noc.PortCache, ctrlMsgBytes,
+				response{kind: respInv, line: addr})
+		}
+		if invs == 0 {
+			b.completePutOnce(addr, l, r)
+			b.next(addr, l)
+			return
+		}
+		l.pending = &r
+		l.waitAcks = invs
+	default:
+		b.completePutOnce(addr, l, r)
+		b.next(addr, l)
+	}
+}
+
+func (b *bank) completePutOnce(addr mem.PAddr, l *dirLine, r request) {
+	for i, w := range r.words {
+		b.sys.mem.WriteU64(addr+r.wordOff+uint64(8*i), w)
+	}
+	l.state = dirU
+	l.owner = -1
+	l.sharers = 0
+	b.sys.net.Send(b.tile, r.src, noc.PortCache, ctrlMsgBytes,
+		response{kind: respWriteAck, line: addr})
+}
+
+// getOnce services a coherent non-caching read: the requester gets current
+// data but is not recorded as a sharer. An exclusive owner is downgraded
+// (its dirty data must reach the backing store first).
+func (b *bank) getOnce(addr mem.PAddr, l *dirLine, r request) {
+	if l.state == dirX && l.owner != r.src {
+		l.pending = &r
+		l.fetching = l.owner
+		b.sys.stats.FetchSent++
+		b.sys.net.Send(b.tile, l.owner, noc.PortCache, ctrlMsgBytes,
+			response{kind: respFetch, line: addr, downgrade: true})
+		return
+	}
+	b.sendData(addr, r.src, respDataOnce)
+	b.next(addr, l)
+}
+
+func (b *bank) getS(addr mem.PAddr, l *dirLine, r request) {
+	switch l.state {
+	case dirX:
+		if l.owner == r.src {
+			// Owner silently dropped a clean-E line and is re-fetching; the
+			// backing copy is current (a dirty owner would have sent PutM).
+			b.sendData(addr, r.src, respDataE)
+			b.next(addr, l)
+			return
+		}
+		l.pending = &r
+		l.fetching = l.owner
+		b.sys.stats.FetchSent++
+		b.sys.net.Send(b.tile, l.owner, noc.PortCache, ctrlMsgBytes,
+			response{kind: respFetch, line: addr, downgrade: true})
+	case dirS:
+		l.sharers |= 1 << r.src
+		b.sendData(addr, r.src, respDataS)
+		b.next(addr, l)
+	default: // dirU
+		if b.sys.cfg.ExclusiveGrant {
+			l.state = dirX
+			l.owner = r.src
+			b.sendData(addr, r.src, respDataE)
+		} else {
+			l.state = dirS
+			l.sharers |= 1 << r.src
+			b.sendData(addr, r.src, respDataS)
+		}
+		b.next(addr, l)
+	}
+}
+
+func (b *bank) getM(addr mem.PAddr, l *dirLine, r request) {
+	switch l.state {
+	case dirX:
+		if l.owner == r.src {
+			b.sendData(addr, r.src, respDataM)
+			b.next(addr, l)
+			return
+		}
+		l.pending = &r
+		l.fetching = l.owner
+		b.sys.stats.FetchSent++
+		b.sys.net.Send(b.tile, l.owner, noc.PortCache, ctrlMsgBytes,
+			response{kind: respFetch, line: addr, downgrade: false})
+	case dirS:
+		invs := 0
+		for t := 0; t < 64; t++ {
+			if l.sharers&(1<<t) == 0 || t == r.src {
+				continue
+			}
+			invs++
+			b.sys.stats.InvSent++
+			b.sys.net.Send(b.tile, t, noc.PortCache, ctrlMsgBytes,
+				response{kind: respInv, line: addr})
+		}
+		if invs == 0 {
+			b.grantM(addr, l, r.src)
+			b.next(addr, l)
+			return
+		}
+		l.pending = &r
+		l.waitAcks = invs
+	default: // dirU
+		b.grantM(addr, l, r.src)
+		b.next(addr, l)
+	}
+}
+
+func (b *bank) putM(addr mem.PAddr, l *dirLine, r request) {
+	if l.state == dirX && l.owner == r.src {
+		b.sys.mem.WriteLine(addr, *r.data)
+		l.state = dirU
+		l.owner = -1
+	}
+	// Otherwise the PutM crossed a Fetch that already collected the data
+	// (the FetchResp carried the same bytes); just acknowledge so the cache
+	// can retire its write-back buffer.
+	b.sys.net.Send(b.tile, r.src, noc.PortCache, ctrlMsgBytes,
+		response{kind: respPutAck, line: addr})
+	b.next(addr, l)
+}
+
+func (b *bank) onAck(a ack) {
+	l := b.lines[a.line]
+	if l == nil || l.pending == nil {
+		panic(fmt.Sprintf("dir[%d]: ack for line %#x with no pending transaction", b.tile, a.line))
+	}
+	r := *l.pending
+	if a.isFetch {
+		if a.src != l.fetching {
+			panic(fmt.Sprintf("dir[%d]: FetchResp from %d, expected %d", b.tile, a.src, l.fetching))
+		}
+		if a.hasData {
+			b.sys.mem.WriteLine(a.line, *a.data)
+		}
+		l.fetching = -1
+		l.pending = nil
+		switch r.kind {
+		case reqPutOnce:
+			b.completePutOnce(a.line, l, r)
+		case reqGetS, reqGetOnce:
+			l.state = dirS
+			oldOwner := l.owner
+			l.owner = -1
+			l.sharers = 0
+			if a.hasData {
+				// Downgraded owner keeps a Shared copy.
+				l.sharers |= 1 << oldOwner
+			}
+			if r.kind == reqGetS {
+				l.sharers |= 1 << r.src
+				b.sendData(a.line, r.src, respDataS)
+			} else {
+				if l.sharers == 0 {
+					l.state = dirU
+				}
+				b.sendData(a.line, r.src, respDataOnce)
+			}
+		default:
+			b.grantM(a.line, l, r.src)
+		}
+		b.next(a.line, l)
+		return
+	}
+	// InvAck
+	l.waitAcks--
+	if l.waitAcks > 0 {
+		return
+	}
+	l.pending = nil
+	if r.kind == reqPutOnce {
+		b.completePutOnce(a.line, l, r)
+	} else {
+		b.grantM(a.line, l, r.src)
+	}
+	b.next(a.line, l)
+}
+
+// grantM hands exclusive ownership to tile with the backing copy's data.
+func (b *bank) grantM(addr mem.PAddr, l *dirLine, tile int) {
+	l.state = dirX
+	l.owner = tile
+	l.sharers = 0
+	b.sendData(addr, tile, respDataM)
+}
+
+func (b *bank) sendData(addr mem.PAddr, tile int, kind respKind) {
+	data := b.sys.mem.ReadLine(addr)
+	b.sys.net.Send(b.tile, tile, noc.PortCache, dataMsgBytes,
+		response{kind: kind, line: addr, data: &data})
+}

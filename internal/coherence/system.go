@@ -1,0 +1,68 @@
+package coherence
+
+import (
+	"fmt"
+
+	"cohort/internal/mem"
+	"cohort/internal/noc"
+	"cohort/internal/sim"
+)
+
+// System owns the coherence fabric for one SoC: a directory bank on every
+// tile and at most one private cache per tile.
+type System struct {
+	k     *sim.Kernel
+	net   *noc.Network
+	mem   *mem.Memory
+	cfg   Config
+	banks []*bank
+	cache []*Cache
+	stats DirStats
+}
+
+// NewSystem builds directory banks on every tile of net.
+func NewSystem(k *sim.Kernel, net *noc.Network, m *mem.Memory, cfg Config) *System {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic("coherence: cache geometry must be positive")
+	}
+	s := &System{k: k, net: net, mem: m, cfg: cfg,
+		cache: make([]*Cache, net.Tiles())}
+	for t := 0; t < net.Tiles(); t++ {
+		s.banks = append(s.banks, newBank(s, t))
+	}
+	return s
+}
+
+// home returns the tile whose directory bank owns the line (address
+// interleaved, like P-Mesh L2 slices).
+func (s *System) home(line mem.PAddr) int {
+	return int((line / mem.LineSize) % uint64(len(s.banks)))
+}
+
+// NewCache attaches a private cache to tile. At most one per tile.
+func (s *System) NewCache(tile int, name string) *Cache {
+	if s.cache[tile] != nil {
+		panic(fmt.Sprintf("coherence: tile %d already has a cache", tile))
+	}
+	c := newCache(s, tile, name)
+	s.cache[tile] = c
+	return c
+}
+
+// Cache returns tile's cache, or nil.
+func (s *System) Cache(tile int) *Cache { return s.cache[tile] }
+
+// Stats returns directory-side counters.
+func (s *System) Stats() DirStats { return s.stats }
+
+// FlushForTest writes every dirty line in every cache straight into backing
+// memory, bypassing timing and protocol. End-of-run verification only: the
+// directory state is left untouched, so the simulation must not continue
+// afterwards.
+func (s *System) FlushForTest() {
+	for _, c := range s.cache {
+		if c != nil {
+			c.flushForTest()
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package engine
+
+// Register byte offsets within the engine's uncached configuration register
+// bank (§4.2: "CPU cores may configure Cohort through its uncached
+// configuration registers, which are the only MMIO component of Cohort").
+// Only the kernel driver maps these; user space never touches them (§4.4).
+const (
+	RegEnable  = 0x00 // write 1: start session from staged registers; 0: stop
+	RegSATP    = 0x08 // page-table root PA for the Cohort MMU
+	RegBackoff = 0x10 // backoff-unit delay in cycles (§4.2.3)
+
+	RegInBase     = 0x18 // input queue descriptor (§4.1.1), all fields VAs
+	RegInElemSize = 0x20
+	RegInLen      = 0x28
+	RegInWIdx     = 0x30
+	RegInRIdx     = 0x38
+
+	RegOutBase     = 0x40 // output queue descriptor
+	RegOutElemSize = 0x48
+	RegOutLen      = 0x50
+	RegOutWIdx     = 0x58
+	RegOutRIdx     = 0x60
+
+	RegUpdateBlock = 0x68 // pointer-update granularity in elements (§4.3)
+
+	RegTLBFlush = 0x70 // write: flush the Cohort TLB (MMU-notifier path, §4.4)
+
+	RegFaultVA      = 0x78 // read: faulting VA (0 when no fault pending)
+	RegFaultKind    = 0x80 // read: 0 none, 1 load, 2 store
+	RegFaultResolve = 0x88 // write: fault fixed in the page table, re-walk
+
+	RegTLBInsertVA  = 0x90 // staged VA for a direct TLB fill
+	RegTLBInsertPTE = 0x98 // staged PTE
+	RegTLBInsert    = 0xa0 // write level: commit the fill and resume (§4.2.4)
+
+	RegCSRAddr = 0xa8 // VA of the accelerator CSR config struct (§4.3)
+	RegCSRLen  = 0xb0 // its length in bytes
+
+	RegStatus = 0xb8 // read: 1 while a session is active
+
+	RegInMode  = 0xc0 // queue organisation (§4.1.1): 0 = indices, 1 = pointers
+	RegOutMode = 0xc8
+
+	// Performance counters (read-only).
+	RegCntElemsIn    = 0x100
+	RegCntElemsOut   = 0x108
+	RegCntInvWakeups = 0x110
+	RegCntPtrUpdates = 0x118
+	RegCntFaults     = 0x120
+
+	// RegBankSize is the MMIO window each engine claims.
+	RegBankSize = 0x200
+)
+
+// Fault kinds as exposed in RegFaultKind.
+const (
+	FaultNone  = 0
+	FaultLoad  = 1
+	FaultStore = 2
+)

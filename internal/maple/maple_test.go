@@ -1,0 +1,265 @@
+package maple
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"cohort/internal/accel"
+	"cohort/internal/coherence"
+	"cohort/internal/mem"
+	"cohort/internal/mmio"
+	"cohort/internal/mmu"
+	"cohort/internal/noc"
+	"cohort/internal/sim"
+)
+
+type rig struct {
+	k    *sim.Kernel
+	m    *mem.Memory
+	sys  *coherence.System
+	bus  *mmio.Bus
+	tabs *mmu.Tables
+	unit *Unit
+	req  *mmio.Requester
+	base uint64
+}
+
+const rwad = mmu.FlagR | mmu.FlagW | mmu.FlagU | mmu.FlagA | mmu.FlagD
+
+func newRig(t *testing.T, dev *accel.BlockDevice, dmaSetup sim.Time) *rig {
+	t.Helper()
+	k := sim.New()
+	net := noc.New(k, noc.DefaultConfig(2, 2))
+	m := mem.New()
+	cfg := coherence.DefaultConfig()
+	cfg.DirLatency, cfg.MemLatency = 6, 20
+	sys := coherence.NewSystem(k, net, m, cfg)
+	bus := mmio.NewBus(k, net)
+	alloc := mem.NewFrameAllocator(0x800_0000, 512*mem.PageSize)
+	tabs, err := mmu.NewTables(m, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := New(Config{
+		Kernel:        k,
+		Bus:           bus,
+		Tile:          2,
+		MMIOBase:      0x4000_0000,
+		Cache:         sys.NewCache(2, "maple"),
+		Device:        dev,
+		DMASetupDelay: dmaSetup,
+	})
+	return &rig{k: k, m: m, sys: sys, bus: bus, tabs: tabs, unit: unit,
+		req: bus.Requester(0), base: unit.MMIOBase()}
+}
+
+func (r *rig) mapRange(t *testing.T, va, size uint64) {
+	t.Helper()
+	for off := uint64(0); off < size; off += mem.PageSize {
+		if err := r.tabs.Map(va+off, va+off, rwad); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMMIOWordPathOrdering(t *testing.T) {
+	r := newRig(t, accel.NewNullDevice(1), 0)
+	var got []uint64
+	r.k.Spawn("core", func(p *sim.Proc) {
+		for i := uint64(0); i < 20; i++ {
+			r.req.Write(p, r.base+RegDataIn, i*3)
+		}
+		for i := 0; i < 20; i++ {
+			got = append(got, r.req.Read(p, r.base+RegDataOut))
+		}
+	})
+	r.k.Run(0)
+	for i, v := range got {
+		if v != uint64(i*3) {
+			t.Fatalf("word %d = %d", i, v)
+		}
+	}
+	st := r.unit.Stats()
+	if st.MMIOWordsIn != 20 || st.MMIOWordsOut != 20 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDataOutStallsUntilAvailable(t *testing.T) {
+	// Reading the output register before the accelerator produced anything
+	// must stall the reader, not return garbage.
+	r := newRig(t, accel.NewSHADevice(), 0)
+	var readDone, writesDone sim.Time
+	r.k.Spawn("reader", func(p *sim.Proc) {
+		_ = r.req.Read(p, r.base+RegDataOut) // issued before any input
+		readDone = p.Now()
+	})
+	r.k.Spawn("writer", func(p *sim.Proc) {
+		p.Wait(5000)
+		w2 := r.bus.Requester(1)
+		for i := 0; i < 8; i++ {
+			w2.Write(p, r.base+RegDataIn, uint64(i))
+		}
+		writesDone = p.Now()
+	})
+	r.k.Run(0)
+	if readDone <= writesDone {
+		t.Fatalf("read completed at %d, before the block was fed (%d)", readDone, writesDone)
+	}
+}
+
+func TestDMAKickWhileBusyPanics(t *testing.T) {
+	r := newRig(t, accel.NewNullDevice(1), 10000)
+	r.mapRange(t, 0x10_0000, 2*mem.PageSize)
+	panicked := false
+	func() {
+		defer func() { panicked = recover() != nil }()
+		r.k.Spawn("core", func(p *sim.Proc) {
+			r.req.Write(p, r.base+RegSATP, r.tabs.Root())
+			r.req.Write(p, r.base+RegDMASrc, 0x10_0000)
+			r.req.Write(p, r.base+RegDMADst, 0x10_1000)
+			r.req.Write(p, r.base+RegDMALen, 64)
+			r.req.Write(p, r.base+RegDMAKick, 1)
+			r.req.Write(p, r.base+RegDMAKick, 1) // still busy (10k-cycle setup)
+		})
+		r.k.Run(0)
+	}()
+	if !panicked {
+		t.Fatal("second kick while busy accepted")
+	}
+}
+
+func TestDMAUnalignedLengthPanics(t *testing.T) {
+	r := newRig(t, accel.NewSHADevice(), 0) // needs multiples of 64 bytes
+	r.mapRange(t, 0x10_0000, 2*mem.PageSize)
+	panicked := false
+	func() {
+		defer func() { panicked = recover() != nil }()
+		r.k.Spawn("core", func(p *sim.Proc) {
+			r.req.Write(p, r.base+RegSATP, r.tabs.Root())
+			r.req.Write(p, r.base+RegDMASrc, 0x10_0000)
+			r.req.Write(p, r.base+RegDMADst, 0x10_1000)
+			r.req.Write(p, r.base+RegDMALen, 72) // not a block multiple
+			r.req.Write(p, r.base+RegDMAKick, 1)
+		})
+		r.k.Run(0)
+	}()
+	if !panicked {
+		t.Fatal("unaligned DMA length accepted")
+	}
+}
+
+func TestDMAUnpinnedPagePanics(t *testing.T) {
+	r := newRig(t, accel.NewNullDevice(1), 0)
+	// Nothing mapped: the unit's MMU must refuse.
+	panicked := false
+	func() {
+		defer func() { panicked = recover() != nil }()
+		r.k.Spawn("core", func(p *sim.Proc) {
+			r.req.Write(p, r.base+RegSATP, r.tabs.Root())
+			r.req.Write(p, r.base+RegDMASrc, 0x10_0000)
+			r.req.Write(p, r.base+RegDMADst, 0x10_1000)
+			r.req.Write(p, r.base+RegDMALen, 8)
+			r.req.Write(p, r.base+RegDMAKick, 1)
+			_ = r.req.Read(p, r.base+RegDMAKick)
+		})
+		r.k.Run(0)
+	}()
+	if !panicked {
+		t.Fatal("DMA through unmapped pages succeeded")
+	}
+}
+
+func TestDMACompletionFlag(t *testing.T) {
+	r := newRig(t, accel.NewSHADevice(), 100)
+	r.mapRange(t, 0x10_0000, 4*mem.PageSize)
+	flagVA := uint64(0x10_3000)
+	r.unit.SetCompletionFlag(flagVA)
+	src := make([]byte, 128) // 2 SHA blocks
+	for i := range src {
+		src[i] = byte(i)
+	}
+	r.m.Write(0x10_0000, src)
+	var flagBefore uint64
+	r.k.Spawn("core", func(p *sim.Proc) {
+		r.req.Write(p, r.base+RegSATP, r.tabs.Root())
+		flagBefore = r.m.ReadU64(flagVA)
+		r.req.Write(p, r.base+RegDMASrc, 0x10_0000)
+		r.req.Write(p, r.base+RegDMADst, 0x10_1000)
+		r.req.Write(p, r.base+RegDMALen, 128)
+		r.req.Write(p, r.base+RegDMAKick, 1)
+		_ = r.req.Read(p, r.base+RegDMAKick)
+	})
+	r.k.Run(0)
+	r.sys.FlushForTest()
+	if flagBefore != 0 || r.m.ReadU64(flagVA) != 1 {
+		t.Fatalf("completion flag %d -> %d, want 0 -> 1", flagBefore, r.m.ReadU64(flagVA))
+	}
+	for b := 0; b < 2; b++ {
+		want := sha256.Sum256(src[64*b : 64*b+64])
+		got := make([]byte, 32)
+		r.m.Read(0x10_1000+uint64(32*b), got)
+		if !bytes.Equal(got, want[:]) {
+			t.Fatalf("DMA block %d digest mismatch", b)
+		}
+	}
+}
+
+func TestDMASetupDelayDominatesSmallTransfers(t *testing.T) {
+	run := func(setup sim.Time) sim.Time {
+		r := newRig(t, accel.NewNullDevice(1), setup)
+		r.mapRange(t, 0x10_0000, 2*mem.PageSize)
+		var done sim.Time
+		r.k.Spawn("core", func(p *sim.Proc) {
+			r.req.Write(p, r.base+RegSATP, r.tabs.Root())
+			r.req.Write(p, r.base+RegDMASrc, 0x10_0000)
+			r.req.Write(p, r.base+RegDMADst, 0x10_1000)
+			r.req.Write(p, r.base+RegDMALen, 8)
+			r.req.Write(p, r.base+RegDMAKick, 1)
+			_ = r.req.Read(p, r.base+RegDMAKick)
+			done = p.Now()
+		})
+		r.k.Run(0)
+		return done
+	}
+	cheap, costly := run(0), run(20000)
+	if costly < cheap+19000 {
+		t.Fatalf("setup delay not charged: %d vs %d", costly, cheap)
+	}
+}
+
+func TestStatusRegister(t *testing.T) {
+	r := newRig(t, accel.NewNullDevice(1), 5000)
+	r.mapRange(t, 0x10_0000, 2*mem.PageSize)
+	var busyDuring, busyAfter uint64
+	r.k.Spawn("core", func(p *sim.Proc) {
+		r.req.Write(p, r.base+RegSATP, r.tabs.Root())
+		r.req.Write(p, r.base+RegDMASrc, 0x10_0000)
+		r.req.Write(p, r.base+RegDMADst, 0x10_1000)
+		r.req.Write(p, r.base+RegDMALen, 8)
+		r.req.Write(p, r.base+RegDMAKick, 1)
+		busyDuring = r.req.Read(p, r.base+RegStatus)
+		_ = r.req.Read(p, r.base+RegDMAKick)
+		busyAfter = r.req.Read(p, r.base+RegStatus)
+	})
+	r.k.Run(0)
+	if busyDuring != 1 || busyAfter != 0 {
+		t.Fatalf("status during=%d after=%d, want 1, 0", busyDuring, busyAfter)
+	}
+}
+
+func TestCounterRegisters(t *testing.T) {
+	r := newRig(t, accel.NewNullDevice(1), 0)
+	var in, out uint64
+	r.k.Spawn("core", func(p *sim.Proc) {
+		r.req.Write(p, r.base+RegDataIn, 1)
+		_ = r.req.Read(p, r.base+RegDataOut)
+		in = r.req.Read(p, r.base+RegCntBase)
+		out = r.req.Read(p, r.base+RegCntBase+8)
+	})
+	r.k.Run(0)
+	if in != 1 || out != 1 {
+		t.Fatalf("counters %d/%d", in, out)
+	}
+}

@@ -1,0 +1,197 @@
+// Package mmio models uncached memory-mapped I/O: the configuration path for
+// devices (Cohort CSRs, the MAPLE unit) and the data path of the MMIO
+// baseline. MMIO operations are the paper's villain (§2.1): they are
+// non-speculative round trips, so the issuing core stalls for the full
+// network traversal plus device latency, and gains no memory-level
+// parallelism.
+package mmio
+
+import (
+	"fmt"
+	"sort"
+
+	"cohort/internal/noc"
+	"cohort/internal/sim"
+)
+
+// Kind distinguishes reads from writes.
+type Kind int
+
+// MMIO operation kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+// Handler services one register access in kernel context. For reads the
+// return value travels back to the core; for writes it is ignored.
+type Handler func(kind Kind, addr, val uint64) uint64
+
+// AsyncHandler services a register access that may complete later: the
+// device calls reply (exactly once, from kernel context) when the access
+// retires. This models hardware stalling an MMIO response — e.g. a data
+// register read that waits for the accelerator to produce a word, during
+// which the issuing core stays stalled (§2.1).
+type AsyncHandler func(kind Kind, addr, val uint64, reply func(uint64))
+
+type device struct {
+	base, size uint64
+	tile       int
+	latency    sim.Time
+	h          AsyncHandler
+}
+
+type req struct {
+	kind      Kind
+	addr, val uint64
+	src       int
+	id        uint64
+}
+
+type resp struct {
+	id  uint64
+	val uint64
+}
+
+// Bus routes MMIO requests from requesters to the device owning the target
+// address range and returns responses.
+type Bus struct {
+	k       *sim.Kernel
+	net     *noc.Network
+	devices []device
+	byTile  map[int]bool
+	reqs    map[int]*Requester
+}
+
+// NewBus builds an MMIO bus over the mesh.
+func NewBus(k *sim.Kernel, net *noc.Network) *Bus {
+	b := &Bus{k: k, net: net, byTile: make(map[int]bool), reqs: make(map[int]*Requester)}
+	return b
+}
+
+// AttachDevice claims [base, base+size) for a device whose registers always
+// respond immediately (after the device latency).
+func (b *Bus) AttachDevice(tile int, base, size uint64, latency sim.Time, h Handler) {
+	b.AttachAsyncDevice(tile, base, size, latency,
+		func(kind Kind, addr, val uint64, reply func(uint64)) {
+			reply(h(kind, addr, val))
+		})
+}
+
+// AttachAsyncDevice claims [base, base+size) for a device on the given tile.
+// latency is charged at the device per access (register file / control
+// logic). One device per tile.
+func (b *Bus) AttachAsyncDevice(tile int, base, size uint64, latency sim.Time, h AsyncHandler) {
+	for _, d := range b.devices {
+		if base < d.base+d.size && d.base < base+size {
+			panic(fmt.Sprintf("mmio: range %#x+%#x overlaps device at %#x", base, size, d.base))
+		}
+	}
+	if b.byTile[tile] {
+		panic(fmt.Sprintf("mmio: tile %d already has a device", tile))
+	}
+	b.byTile[tile] = true
+	d := device{base: base, size: size, tile: tile, latency: latency, h: h}
+	b.devices = append(b.devices, d)
+	sort.Slice(b.devices, func(i, j int) bool { return b.devices[i].base < b.devices[j].base })
+	b.net.Attach(tile, noc.PortDevice, func(msg noc.Msg) {
+		r := msg.Payload.(req)
+		b.k.After(d.latency, func() {
+			d.h(r.kind, r.addr, r.val, func(val uint64) {
+				b.net.Send(tile, r.src, noc.PortDevice, 16, resp{id: r.id, val: val})
+			})
+		})
+	})
+}
+
+func (b *Bus) find(addr uint64) *device {
+	for i := range b.devices {
+		d := &b.devices[i]
+		if addr >= d.base && addr < d.base+d.size {
+			return d
+		}
+	}
+	return nil
+}
+
+// Requester is a core-side MMIO port. One per requesting tile.
+type Requester struct {
+	bus     *Bus
+	tile    int
+	nextID  uint64
+	pending map[uint64]*pendingOp
+	stats   Stats
+}
+
+type pendingOp struct {
+	done *sim.Signal
+	val  uint64
+	ok   bool
+}
+
+// Stats counts MMIO operations issued by a requester.
+type Stats struct {
+	Reads, Writes uint64
+}
+
+// Requester returns (creating if needed) the MMIO port for a tile. The tile
+// must not also host a device (they share the router port).
+func (b *Bus) Requester(tile int) *Requester {
+	if r, ok := b.reqs[tile]; ok {
+		return r
+	}
+	if b.byTile[tile] {
+		panic(fmt.Sprintf("mmio: tile %d hosts a device; cannot also be a requester", tile))
+	}
+	r := &Requester{bus: b, tile: tile, pending: make(map[uint64]*pendingOp)}
+	b.reqs[tile] = r
+	b.net.Attach(tile, noc.PortDevice, func(msg noc.Msg) {
+		rs := msg.Payload.(resp)
+		op := r.pending[rs.id]
+		if op == nil {
+			panic("mmio: response with no pending op")
+		}
+		delete(r.pending, rs.id)
+		op.val = rs.val
+		op.ok = true
+		op.done.Fire()
+	})
+	return r
+}
+
+// Stats returns a copy of the requester's counters.
+func (r *Requester) Stats() Stats { return r.stats }
+
+// ResetStats zeroes the counters.
+func (r *Requester) ResetStats() { r.stats = Stats{} }
+
+func (r *Requester) do(p *sim.Proc, kind Kind, addr, val uint64) uint64 {
+	d := r.bus.find(addr)
+	if d == nil {
+		panic(fmt.Sprintf("mmio: access to unmapped address %#x", addr))
+	}
+	r.nextID++
+	id := r.nextID
+	op := &pendingOp{done: sim.NewSignal(r.bus.k)}
+	r.pending[id] = op
+	r.bus.net.Send(r.tile, d.tile, noc.PortDevice, 16,
+		req{kind: kind, addr: addr, val: val, src: r.tile, id: id})
+	for !op.ok {
+		op.done.Wait(p)
+	}
+	return op.val
+}
+
+// Read performs an uncached load; the calling process stalls for the full
+// round trip.
+func (r *Requester) Read(p *sim.Proc, addr uint64) uint64 {
+	r.stats.Reads++
+	return r.do(p, Read, addr, 0)
+}
+
+// Write performs an uncached store; like a real side-effectful MMIO store it
+// is completion-acknowledged, so the core stalls here too.
+func (r *Requester) Write(p *sim.Proc, addr, val uint64) {
+	r.stats.Writes++
+	r.do(p, Write, addr, val)
+}

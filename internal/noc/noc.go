@@ -1,0 +1,198 @@
+// Package noc models the on-chip interconnect: a 2-D mesh of routers in the
+// style of OpenPiton's P-Mesh, carrying coherence and MMIO traffic between
+// tiles. Messages are routed XY hop by hop; each link serializes flits, so
+// contended links introduce queuing delay, and delivery order per
+// (source, destination) pair is FIFO — a property the coherence protocol
+// relies on.
+package noc
+
+import (
+	"fmt"
+
+	"cohort/internal/sim"
+)
+
+// Port identifies the on-tile unit a message targets. A tile can host
+// several units (an L1 cache, a directory bank, an MMIO device, an interrupt
+// line), each attached to its own port of the tile's router.
+type Port int
+
+// Standard ports.
+const (
+	PortCache Port = iota
+	PortDir
+	PortDevice
+	PortIRQ
+	numPorts
+)
+
+// Msg is one network message. Payload is interpreted by the receiver.
+type Msg struct {
+	Src, Dst int  // tile IDs
+	Port     Port // destination unit within the tile
+	Size     int  // bytes, controls flit count / serialization latency
+	Payload  any
+}
+
+// Handler receives messages delivered to a tile. It runs in kernel context
+// and must not block; hand off to a sim.Queue for process-style consumers.
+type Handler func(Msg)
+
+// Config sets mesh geometry and timing.
+type Config struct {
+	Width, Height int
+	RouterDelay   sim.Time // per-hop route computation / crossbar traversal
+	LinkDelay     sim.Time // per-hop wire latency
+	FlitBytes     int      // bytes moved per cycle per link
+	LocalDelay    sim.Time // src==dst ejection cost
+}
+
+// DefaultConfig returns timing in line with a small FPGA mesh: 2-cycle
+// routers, 1-cycle links, 16-byte flits.
+func DefaultConfig(w, h int) Config {
+	return Config{Width: w, Height: h, RouterDelay: 2, LinkDelay: 1, FlitBytes: 16, LocalDelay: 1}
+}
+
+// Stats aggregates network counters.
+type Stats struct {
+	Msgs  uint64
+	Flits uint64
+	Hops  uint64
+}
+
+type link struct {
+	nextFree sim.Time
+}
+
+// Network is the mesh instance.
+type Network struct {
+	k        *sim.Kernel
+	cfg      Config
+	handlers [][numPorts]Handler
+	// links[tile][dir] is the outgoing link from tile in direction dir.
+	links [][4]link
+	stats Stats
+}
+
+// Directions for links.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// New builds the mesh. Handlers start nil; Attach them before traffic flows.
+func New(k *sim.Kernel, cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	if cfg.FlitBytes <= 0 {
+		cfg.FlitBytes = 16
+	}
+	n := cfg.Width * cfg.Height
+	return &Network{
+		k:        k,
+		cfg:      cfg,
+		handlers: make([][numPorts]Handler, n),
+		links:    make([][4]link, n),
+	}
+}
+
+// Tiles returns the number of tiles.
+func (n *Network) Tiles() int { return n.cfg.Width * n.cfg.Height }
+
+// Attach registers the message handler for a tile's port.
+func (n *Network) Attach(tile int, port Port, h Handler) {
+	n.handlers[tile][port] = h
+}
+
+// Stats returns a copy of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+func (n *Network) coord(tile int) (x, y int) { return tile % n.cfg.Width, tile / n.cfg.Width }
+
+func (n *Network) tileAt(x, y int) int { return y*n.cfg.Width + x }
+
+// HopCount returns the number of router-to-router hops between two tiles
+// under XY routing (0 for local delivery).
+func (n *Network) HopCount(src, dst int) int {
+	sx, sy := n.coord(src)
+	dx, dy := n.coord(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (n *Network) flits(size int) uint64 {
+	f := (size + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes
+	if f < 1 {
+		f = 1
+	}
+	return uint64(f)
+}
+
+// Send injects a message at src destined for dst's port. It may be called
+// from kernel context or a process; delivery happens via the port handler
+// after the modelled network latency.
+func (n *Network) Send(src, dst int, port Port, size int, payload any) {
+	if src < 0 || src >= n.Tiles() || dst < 0 || dst >= n.Tiles() {
+		panic(fmt.Sprintf("noc: bad route %d -> %d", src, dst))
+	}
+	msg := Msg{Src: src, Dst: dst, Port: port, Size: size, Payload: payload}
+	n.stats.Msgs++
+	n.stats.Flits += n.flits(size)
+	if src == dst {
+		n.k.After(n.cfg.LocalDelay, func() { n.deliver(msg) })
+		return
+	}
+	n.hop(msg, src, n.k.Now())
+}
+
+// hop advances msg from tile `at` toward its destination, modelling router
+// delay, link serialization and wire latency for one hop.
+func (n *Network) hop(msg Msg, at int, ready sim.Time) {
+	x, y := n.coord(at)
+	dx, dy := n.coord(msg.Dst)
+	var dir, next int
+	switch {
+	case x < dx:
+		dir, next = dirEast, n.tileAt(x+1, y)
+	case x > dx:
+		dir, next = dirWest, n.tileAt(x-1, y)
+	case y < dy:
+		dir, next = dirSouth, n.tileAt(x, y+1)
+	default:
+		dir, next = dirNorth, n.tileAt(x, y-1)
+	}
+	l := &n.links[at][dir]
+	depart := ready + n.cfg.RouterDelay
+	if l.nextFree > depart {
+		depart = l.nextFree
+	}
+	occupancy := sim.Time(n.flits(msg.Size)) // one flit per cycle on the link
+	l.nextFree = depart + occupancy
+	arrive := depart + occupancy - 1 + n.cfg.LinkDelay
+	n.stats.Hops++
+	n.k.At(arrive, func() {
+		if next == msg.Dst {
+			// Ejection at the destination router.
+			n.k.After(n.cfg.RouterDelay, func() { n.deliver(msg) })
+			return
+		}
+		n.hop(msg, next, n.k.Now())
+	})
+}
+
+func (n *Network) deliver(msg Msg) {
+	h := n.handlers[msg.Dst][msg.Port]
+	if h == nil {
+		panic(fmt.Sprintf("noc: message %T delivered to tile %d port %d with no handler", msg.Payload, msg.Dst, msg.Port))
+	}
+	h(msg)
+}

@@ -1,0 +1,198 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a cycle-granular clock and fires events in (time,
+// schedule-order) sequence. Simulated hardware agents run either as plain
+// callbacks executed in kernel context, or as processes: goroutines that the
+// kernel resumes one at a time, so execution is single-threaded in effect and
+// fully deterministic. A process parks whenever it waits for time to pass or
+// for a condition; idle cycles cost nothing, which is what makes sweeping the
+// full benchmark matrix cheap.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in cycles.
+type Time = uint64
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator instance. The zero value is not
+// usable; construct with New.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	ctl     chan struct{} // handshake: a process signals it has parked or finished
+	stopped bool
+	procs   int // live processes
+	parked  int // processes parked on a condition (not a timer)
+	trap    any // panic value captured from a process, rethrown in Run
+	tr      *tracer
+}
+
+// New returns an empty kernel at time zero.
+func New() *Kernel {
+	return &Kernel{ctl: make(chan struct{})}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run in kernel context at absolute time t. Scheduling in
+// the past is treated as "now".
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run in kernel context d cycles from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Stop makes Run return after the event currently being processed.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run fires events until the event queue is empty, Stop is called, or the
+// clock would pass limit (limit 0 means no limit). It returns the time at
+// which it stopped.
+func (k *Kernel) Run(limit Time) Time {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		e := heap.Pop(&k.events).(event)
+		if limit != 0 && e.at > limit {
+			// Push the event back for a later Run call and stop the clock
+			// at the limit.
+			heap.Push(&k.events, e)
+			k.now = limit
+			return k.now
+		}
+		k.now = e.at
+		e.fn()
+	}
+	return k.now
+}
+
+// Idle reports whether no events are pending.
+func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+
+// Blocked returns the number of processes parked on a condition (a Signal or
+// Gate) rather than on the clock. After Run drains the event queue, a nonzero
+// Blocked count identifies server-style processes still waiting for input —
+// or, in a buggy model, a deadlock.
+func (k *Kernel) Blocked() int { return k.parked }
+
+// Procs returns the number of live processes.
+func (k *Kernel) Procs() int { return k.procs }
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// kernel. All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	k    *Kernel
+	name string
+	wake chan struct{}
+	dead bool
+}
+
+// Spawn starts fn as a new process at the current simulation time. The
+// process runs when the kernel reaches its first event.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) {
+	p := &Proc{k: k, name: name, wake: make(chan struct{})}
+	k.procs++
+	k.After(0, func() {
+		go func() {
+			defer func() {
+				p.dead = true
+				k.procs--
+				if r := recover(); r != nil {
+					// Surface process panics on the kernel goroutine so
+					// Run's caller sees them (and tests can recover them).
+					k.trap = r
+				}
+				k.ctl <- struct{}{}
+			}()
+			fn(p)
+		}()
+		<-k.ctl
+		k.rethrow()
+	})
+}
+
+// rethrow re-raises a panic captured from a process, on the caller of Run.
+func (k *Kernel) rethrow() {
+	if k.trap != nil {
+		t := k.trap
+		k.trap = nil
+		panic(t)
+	}
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park hands control back to the kernel and blocks until resumed.
+func (p *Proc) park() {
+	p.k.ctl <- struct{}{}
+	<-p.wake
+}
+
+// resume is scheduled as a kernel event to continue a parked process.
+func (p *Proc) resume() {
+	p.wake <- struct{}{}
+	<-p.k.ctl
+	p.k.rethrow()
+}
+
+// Wait advances the process's view of time by d cycles. Wait(0) yields to
+// other events scheduled at the current time. A nonzero Wait is the unit of
+// modelled occupancy, so it becomes a busy-span on the process's trace track
+// when tracing is enabled.
+func (p *Proc) Wait(d Time) {
+	p.k.busy(p, d)
+	p.k.After(d, p.resume)
+	p.park()
+}
+
+// WaitUntil parks until absolute time t (no-op if t is in the past).
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.Wait(t - p.k.now)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }

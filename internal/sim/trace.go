@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Tracing records what every simulated process was doing and when, plus
+// component-emitted instant events, and exports the timeline in the Chrome
+// trace-event format (load it at chrome://tracing or https://ui.perfetto.dev
+// to see cores, endpoints, accelerators and DMA engines laid out against the
+// cycle axis). Tracing is off by default and costs nothing until enabled.
+
+// TraceEvent is one timeline entry. Dur == 0 marks an instant event.
+type TraceEvent struct {
+	Name  string
+	Cat   string
+	Start Time
+	Dur   Time
+	TID   int
+}
+
+type tracer struct {
+	events []TraceEvent
+	tids   map[string]int
+}
+
+// EnableTracing starts recording process run-spans and instant events.
+func (k *Kernel) EnableTracing() {
+	if k.tr == nil {
+		k.tr = &tracer{tids: make(map[string]int)}
+	}
+}
+
+// TracingEnabled reports whether tracing is on.
+func (k *Kernel) TracingEnabled() bool { return k.tr != nil }
+
+// TraceInstant records a zero-duration marker on the named track (no-op when
+// tracing is off). Components use this for protocol-level moments: an RCM
+// wakeup, a page-fault IRQ, a DMA kick.
+func (k *Kernel) TraceInstant(track, name string) {
+	if k.tr == nil {
+		return
+	}
+	k.tr.add(TraceEvent{Name: name, Cat: "event", Start: k.now, TID: k.tr.tid(track)})
+}
+
+// TraceEvents returns a copy of everything recorded so far.
+func (k *Kernel) TraceEvents() []TraceEvent {
+	if k.tr == nil {
+		return nil
+	}
+	return append([]TraceEvent(nil), k.tr.events...)
+}
+
+func (t *tracer) tid(name string) int {
+	id, ok := t.tids[name]
+	if !ok {
+		id = len(t.tids) + 1
+		t.tids[name] = id
+	}
+	return id
+}
+
+func (t *tracer) add(e TraceEvent) { t.events = append(t.events, e) }
+
+// busy records a process's nonzero Wait as an occupancy span on its track.
+func (k *Kernel) busy(p *Proc, d Time) {
+	if k.tr == nil || d == 0 {
+		return
+	}
+	k.tr.add(TraceEvent{Name: p.name, Cat: "busy", Start: k.now, Dur: d, TID: k.tr.tid(p.name)})
+}
+
+// chromeEvent is the trace-event JSON wire format.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Ts   uint64 `json:"ts"`
+	Dur  uint64 `json:"dur,omitempty"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+}
+
+// WriteChromeTrace serializes the recorded timeline as a Chrome trace-event
+// JSON array. Cycle timestamps are written as microseconds (1 cycle = 1 µs
+// on the viewer's axis).
+func (k *Kernel) WriteChromeTrace(w io.Writer) error {
+	if k.tr == nil {
+		return fmt.Errorf("sim: tracing was never enabled")
+	}
+	out := make([]chromeEvent, 0, len(k.tr.events))
+	for _, e := range k.tr.events {
+		ph := "X"
+		if e.Dur == 0 {
+			ph = "i"
+		}
+		out = append(out, chromeEvent{
+			Name: e.Name, Cat: e.Cat, Ph: ph,
+			Ts: e.Start, Dur: e.Dur, PID: 1, TID: e.TID,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

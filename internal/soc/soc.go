@@ -1,0 +1,168 @@
+// Package soc assembles the hardware: mesh, memory, coherence fabric, MMIO
+// bus, cores, Cohort engines and MAPLE units — the simulated equivalent of
+// the paper's 4-tile OpenPiton FPGA prototype (Figure 2: two Ariane cores
+// and two accelerator tiles).
+//
+// All timing constants live in Config so the calibration that EXPERIMENTS.md
+// documents happens in exactly one place.
+package soc
+
+import (
+	"fmt"
+
+	"cohort/internal/accel"
+	"cohort/internal/coherence"
+	"cohort/internal/cpu"
+	"cohort/internal/engine"
+	"cohort/internal/maple"
+	"cohort/internal/mem"
+	"cohort/internal/mmio"
+	"cohort/internal/mmu"
+	"cohort/internal/noc"
+	"cohort/internal/sim"
+)
+
+// Config sets the SoC's geometry and timing.
+type Config struct {
+	MeshW, MeshH int
+
+	Noc   noc.Config
+	Cache coherence.Config
+
+	CoreTLBEntries   int
+	EngineTLBEntries int // paper §5: "The Cohort TLB has 16 entries"
+
+	DeviceMMIOLatency   sim.Time // register-bank access latency at devices
+	EngineBackoff       uint64   // default RCM backoff (§4.2.1)
+	EngineQueueDepth    int      // endpoint-to-accelerator valid/ready buffering
+	EngineBlockOverhead sim.Time // per-data-block engine FSM cost
+	// EngineCachedPointers switches the WCM to cached pointer publication
+	// (ablation; default false = write-through, as calibrated).
+	EngineCachedPointers bool
+	DMASetupDelay        sim.Time // MAPLE fixed per-transfer DMA cost
+
+	// Physical layout.
+	FrameBase uint64 // start of the OS frame pool
+	FrameSize uint64
+}
+
+// DefaultConfig mirrors the paper's prototype scale: a 2x2 P-Mesh, 8 KiB
+// 4-way L1-equivalents with 64 B lines, 16-entry Cohort TLB.
+func DefaultConfig() Config {
+	return Config{
+		MeshW:             2,
+		MeshH:             2,
+		Noc:               noc.DefaultConfig(2, 2),
+		Cache:             coherence.DefaultConfig(),
+		CoreTLBEntries:    16,
+		EngineTLBEntries:  16,
+		DeviceMMIOLatency: 250,
+		EngineBackoff:     450,
+		EngineQueueDepth:  16,
+		DMASetupDelay:     15000,
+		FrameBase:         0x1000_0000,
+		FrameSize:         64 << 20,
+	}
+}
+
+// SoC owns the assembled hardware.
+type SoC struct {
+	Cfg    Config
+	K      *sim.Kernel
+	Net    *noc.Network
+	Mem    *mem.Memory
+	Coh    *coherence.System
+	Bus    *mmio.Bus
+	Frames *mem.FrameAllocator
+
+	Cores   []*cpu.Core
+	Engines []*engine.Engine
+	Maples  []*maple.Unit
+
+	nextMMIO uint64
+}
+
+// New builds the fabric with no cores or devices yet.
+func New(cfg Config) *SoC {
+	cfg.Noc.Width, cfg.Noc.Height = cfg.MeshW, cfg.MeshH
+	k := sim.New()
+	net := noc.New(k, cfg.Noc)
+	m := mem.New()
+	return &SoC{
+		Cfg:      cfg,
+		K:        k,
+		Net:      net,
+		Mem:      m,
+		Coh:      coherence.NewSystem(k, net, m, cfg.Cache),
+		Bus:      mmio.NewBus(k, net),
+		Frames:   mem.NewFrameAllocator(cfg.FrameBase, cfg.FrameSize),
+		nextMMIO: 0x4000_0000,
+	}
+}
+
+func (s *SoC) claimMMIO(size uint64) uint64 {
+	base := s.nextMMIO
+	s.nextMMIO += (size + 0xfff) &^ 0xfff
+	return base
+}
+
+// AddCore places a core on a tile (with L1, MMU, and MMIO port).
+func (s *SoC) AddCore(tile int) *cpu.Core {
+	id := len(s.Cores)
+	cache := s.Coh.NewCache(tile, fmt.Sprintf("core%d.l1", id))
+	u := mmu.New(s.Cfg.CoreTLBEntries, cache.ReadOnceU64)
+	core := cpu.New(cpu.Config{
+		ID:       id,
+		Tile:     tile,
+		Kernel:   s.K,
+		Cache:    cache,
+		MMU:      u,
+		MMIOPort: s.Bus.Requester(tile),
+	})
+	s.Cores = append(s.Cores, core)
+	return core
+}
+
+// AddEngine places a Cohort engine plus its accelerator on a tile. Page
+// faults interrupt irqTile.
+func (s *SoC) AddEngine(tile int, dev accel.Device, irqTile int) *engine.Engine {
+	cache := s.Coh.NewCache(tile, fmt.Sprintf("cohort%d.l15", tile))
+	e := engine.New(engine.Config{
+		Kernel:         s.K,
+		Net:            s.Net,
+		Bus:            s.Bus,
+		Tile:           tile,
+		MMIOBase:       s.claimMMIO(engine.RegBankSize),
+		Cache:          cache,
+		Device:         dev,
+		IRQTile:        irqTile,
+		TLBEntries:     s.Cfg.EngineTLBEntries,
+		MMIOLatency:    s.Cfg.DeviceMMIOLatency,
+		QueueDepth:     s.Cfg.EngineQueueDepth,
+		BlockOverhead:  s.Cfg.EngineBlockOverhead,
+		CachedPointers: s.Cfg.EngineCachedPointers,
+	})
+	s.Engines = append(s.Engines, e)
+	return e
+}
+
+// AddMaple places a MAPLE baseline unit plus its accelerator on a tile.
+func (s *SoC) AddMaple(tile int, dev *accel.BlockDevice) *maple.Unit {
+	cache := s.Coh.NewCache(tile, fmt.Sprintf("maple%d.l15", tile))
+	u := maple.New(maple.Config{
+		Kernel:        s.K,
+		Bus:           s.Bus,
+		Tile:          tile,
+		MMIOBase:      s.claimMMIO(maple.RegBankSize),
+		Cache:         cache,
+		Device:        dev,
+		TLBEntries:    s.Cfg.EngineTLBEntries,
+		MMIOLatency:   s.Cfg.DeviceMMIOLatency,
+		DMASetupDelay: s.Cfg.DMASetupDelay,
+	})
+	s.Maples = append(s.Maples, u)
+	return u
+}
+
+// Run drains the simulation (up to limit cycles; 0 = until idle).
+func (s *SoC) Run(limit sim.Time) sim.Time { return s.K.Run(limit) }

@@ -1,0 +1,89 @@
+package soc
+
+import (
+	"testing"
+
+	"cohort/internal/accel"
+	"cohort/internal/sim"
+)
+
+func TestAssembly(t *testing.T) {
+	s := New(DefaultConfig())
+	c0 := s.AddCore(0)
+	c1 := s.AddCore(1)
+	e := s.AddEngine(2, accel.NewNullDevice(1), 0)
+	u := s.AddMaple(3, accel.NewSHADevice())
+	if c0.Tile() != 0 || c1.Tile() != 1 {
+		t.Fatal("core tiles wrong")
+	}
+	if e.Tile() != 2 {
+		t.Fatal("engine tile wrong")
+	}
+	if len(s.Cores) != 2 || len(s.Engines) != 1 || len(s.Maples) != 1 {
+		t.Fatalf("inventory %d/%d/%d", len(s.Cores), len(s.Engines), len(s.Maples))
+	}
+	if e.MMIOBase() == u.MMIOBase() {
+		t.Fatal("MMIO windows collide")
+	}
+	if e.MMIOBase()%0x1000 != 0 || u.MMIOBase()%0x1000 != 0 {
+		t.Fatal("MMIO windows not page aligned")
+	}
+}
+
+func TestTwoDevicesSameTileRejected(t *testing.T) {
+	s := New(DefaultConfig())
+	s.AddEngine(2, accel.NewNullDevice(1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second unit on tile 2 accepted")
+		}
+	}()
+	s.AddMaple(2, accel.NewSHADevice())
+}
+
+func TestDefaultConfigMirrorsPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MeshW*cfg.MeshH != 4 {
+		t.Fatalf("mesh %dx%d, paper uses a four tile design", cfg.MeshW, cfg.MeshH)
+	}
+	if cfg.EngineTLBEntries != 16 {
+		t.Fatalf("Cohort TLB %d entries, paper says 16", cfg.EngineTLBEntries)
+	}
+	// 8 KiB 4-way with 64 B lines = 32 sets.
+	if cfg.Cache.Sets*cfg.Cache.Ways*64 != 8192 {
+		t.Fatalf("L1 is %d bytes, paper uses 8 KiB", cfg.Cache.Sets*cfg.Cache.Ways*64)
+	}
+}
+
+func TestRunHonorsLimit(t *testing.T) {
+	s := New(DefaultConfig())
+	fired := 0
+	s.K.After(100, func() { fired++ })
+	s.K.After(10_000, func() { fired++ })
+	if end := s.Run(1000); end != 1000 || fired != 1 {
+		t.Fatalf("end=%d fired=%d", end, fired)
+	}
+}
+
+func TestLargerMesh(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 4, 4
+	s := New(cfg)
+	if s.Net.Tiles() != 16 {
+		t.Fatalf("tiles = %d", s.Net.Tiles())
+	}
+	// Scale-out: cores and engines on a 4x4 mesh still work end to end.
+	for tile := 0; tile < 4; tile++ {
+		s.AddCore(tile)
+	}
+	e := s.AddEngine(15, accel.NewNullDevice(1), 0)
+	if e.Tile() != 15 {
+		t.Fatal("engine placement")
+	}
+	done := false
+	s.K.Spawn("noop", func(p *sim.Proc) { p.Wait(10); done = true })
+	s.Run(0)
+	if !done {
+		t.Fatal("kernel did not run")
+	}
+}

@@ -1,0 +1,109 @@
+package cohort
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the paper's §7 "Queue Libraries and Language Support"
+// direction made concrete: byte-stream (Unix-pipe-style) adapters over word
+// queues, so accelerators compose with io.Copy and friends.
+
+// Writer adapts a word queue to io.WriteCloser: bytes are packed
+// little-endian into 64-bit words, buffering partial words until eight bytes
+// accumulate. Close flushes a zero-padded final word if one is pending.
+type Writer struct {
+	q      *Fifo[Word]
+	stage  [8]byte
+	nstage int
+	closed bool
+}
+
+// NewWriter wraps q.
+func NewWriter(q *Fifo[Word]) *Writer { return &Writer{q: q} }
+
+// Write implements io.Writer. It never fails while the queue is open.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("cohort: write on closed queue writer")
+	}
+	n := len(p)
+	for len(p) > 0 {
+		c := copy(w.stage[w.nstage:], p)
+		w.nstage += c
+		p = p[c:]
+		if w.nstage == 8 {
+			w.q.Push(binary.LittleEndian.Uint64(w.stage[:]))
+			w.nstage = 0
+		}
+	}
+	return n, nil
+}
+
+// Close flushes a zero-padded partial word. Idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.nstage > 0 {
+		for i := w.nstage; i < 8; i++ {
+			w.stage[i] = 0
+		}
+		w.q.Push(binary.LittleEndian.Uint64(w.stage[:]))
+		w.nstage = 0
+	}
+	return nil
+}
+
+// Pending returns how many bytes are staged awaiting a full word (0 after a
+// word boundary or Close).
+func (w *Writer) Pending() int { return w.nstage }
+
+// Reader adapts a word queue to io.Reader: each popped word yields eight
+// little-endian bytes. The stream is endless by construction (queues carry
+// no EOF); bound it with io.LimitReader or io.ReadFull for exact sizes.
+type Reader struct {
+	q      *Fifo[Word]
+	stage  [8]byte
+	nstage int // unread bytes remaining in stage (consumed from the front)
+}
+
+// NewReader wraps q.
+func NewReader(q *Fifo[Word]) *Reader { return &Reader{q: q} }
+
+// Read implements io.Reader; it blocks until at least one byte is available.
+func (r *Reader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if r.nstage == 0 {
+		binary.LittleEndian.PutUint64(r.stage[:], r.q.Pop())
+		r.nstage = 8
+	}
+	n := copy(p, r.stage[8-r.nstage:])
+	r.nstage -= n
+	return n, nil
+}
+
+// Pipe registers acc between two fresh queues and returns byte-stream ends:
+// write plaintext in, read the accelerator's output out — an accelerator as
+// a Unix pipe. The caller must keep writes and reads balanced according to
+// the accelerator's block ratio (use io.ReadFull for exact output sizes) and
+// Unregister the returned engine when done.
+func Pipe(acc Accelerator, queueCap int) (io.WriteCloser, io.Reader, *Engine, error) {
+	in, err := NewFifo[Word](queueCap)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out, err := NewFifo[Word](queueCap)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	eng, err := Register(acc, in, out)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return NewWriter(in), NewReader(out), eng, nil
+}

@@ -1,0 +1,150 @@
+package cohort
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestWriterPacksLittleEndian(t *testing.T) {
+	q, _ := NewFifo[Word](8)
+	w := NewWriter(q)
+	if _, err := w.Write([]byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := q.TryPop()
+	if !ok || v != 0x0807060504030201 {
+		t.Fatalf("word = %#x", v)
+	}
+}
+
+func TestWriterStagesPartialWords(t *testing.T) {
+	q, _ := NewFifo[Word](8)
+	w := NewWriter(q)
+	w.Write([]byte{0xaa, 0xbb, 0xcc})
+	if q.Len() != 0 || w.Pending() != 3 {
+		t.Fatalf("partial word leaked: len=%d pending=%d", q.Len(), w.Pending())
+	}
+	w.Write([]byte{1, 2, 3, 4, 5}) // completes the word
+	if q.Len() != 1 || w.Pending() != 0 {
+		t.Fatalf("word not flushed: len=%d pending=%d", q.Len(), w.Pending())
+	}
+}
+
+func TestWriterCloseFlushesZeroPadded(t *testing.T) {
+	q, _ := NewFifo[Word](8)
+	w := NewWriter(q)
+	w.Write([]byte{0xff})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := q.TryPop()
+	if v != 0xff {
+		t.Fatalf("padded word = %#x", v)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("Close not idempotent")
+	}
+	if _, err := w.Write([]byte{1}); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestReaderUnpacksAcrossBoundaries(t *testing.T) {
+	q, _ := NewFifo[Word](8)
+	q.Push(0x0807060504030201)
+	q.Push(0x100f0e0d0c0b0a09)
+	r := NewReader(q)
+	buf := make([]byte, 16)
+	if _, err := io.ReadFull(r, buf[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(r, buf[3:16]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if buf[i] != byte(i+1) {
+			t.Fatalf("byte %d = %d", i, buf[i])
+		}
+	}
+}
+
+func TestPipeThroughNullAccelerator(t *testing.T) {
+	w, r, eng, err := Pipe(NewNull(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Unregister()
+	data := make([]byte, 1024)
+	rand.New(rand.NewSource(8)).Read(data)
+	go func() {
+		w.Write(data)
+		w.Close()
+	}()
+	got := make([]byte, len(data))
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("pipe corrupted the byte stream")
+	}
+}
+
+func TestPipeThroughSHA(t *testing.T) {
+	w, r, eng, err := Pipe(NewSHA256(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Unregister()
+	block := make([]byte, 64)
+	copy(block, "an exact sha block via the pipe interface")
+	go w.Write(block)
+	digest := make([]byte, 32)
+	if _, err := io.ReadFull(r, digest); err != nil {
+		t.Fatal(err)
+	}
+	want := sha256.Sum256(block)
+	if !bytes.Equal(digest, want[:]) {
+		t.Fatal("piped digest mismatch")
+	}
+}
+
+func TestPipeEncryptDecryptIoCopy(t *testing.T) {
+	// Two pipes composed with io.Copy: enc | dec == cat.
+	key := []byte("pipe 16-byte key")
+	encAcc := NewAES128()
+	decAcc := NewAES128Decrypt()
+	if err := encAcc.Configure(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := decAcc.Configure(key); err != nil {
+		t.Fatal(err)
+	}
+	encW, encR, e1, err := Pipe(encAcc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Unregister()
+	decW, decR, e2, err := Pipe(decAcc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Unregister()
+
+	data := make([]byte, 512) // multiple of the 16-byte block
+	rand.New(rand.NewSource(9)).Read(data)
+	go func() {
+		encW.Write(data)
+		encW.Close()
+	}()
+	go io.Copy(decW, io.LimitReader(encR, int64(len(data))))
+	got := make([]byte, len(data))
+	if _, err := io.ReadFull(decR, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("enc|dec pipe composition is not identity")
+	}
+}

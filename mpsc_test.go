@@ -1,0 +1,201 @@
+package cohort
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func TestMpmcBasics(t *testing.T) {
+	q, err := NewMpmc[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMpmc[int](0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.TryPush(9) {
+		t.Fatal("push into full queue succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestMpmcWrapsManyLaps(t *testing.T) {
+	q, _ := NewMpmc[uint64](8)
+	for lap := uint64(0); lap < 1000; lap++ {
+		q.Push(lap)
+		if got := q.Pop(); got != lap {
+			t.Fatalf("lap %d: got %d", lap, got)
+		}
+	}
+}
+
+func TestMpmcBlockTooBigPanics(t *testing.T) {
+	q, _ := NewMpmc[int](4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized block accepted")
+		}
+	}()
+	q.PushBlock(make([]int, 9))
+}
+
+func TestMpmcConcurrentProducersPreserveAllElements(t *testing.T) {
+	q, _ := NewMpmc[uint64](256)
+	const producers = 8
+	const perProducer = 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(uint64(p)<<32 | uint64(i))
+			}
+		}()
+	}
+	seen := make(map[uint64]bool, producers*perProducer)
+	lastPerProducer := make([]int64, producers)
+	for i := range lastPerProducer {
+		lastPerProducer[i] = -1
+	}
+	for n := 0; n < producers*perProducer; n++ {
+		v := q.Pop()
+		if seen[v] {
+			t.Fatalf("duplicate element %#x", v)
+		}
+		seen[v] = true
+		who, seq := int(v>>32), int64(v&0xffffffff)
+		if seq <= lastPerProducer[who] {
+			t.Fatalf("producer %d reordered: %d after %d", who, seq, lastPerProducer[who])
+		}
+		lastPerProducer[who] = seq
+	}
+	wg.Wait()
+}
+
+func TestMpmcBlocksStayContiguous(t *testing.T) {
+	q, _ := NewMpmc[uint64](64)
+	const producers = 6
+	const blocksEach = 400
+	const blockLen = 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blk := make([]uint64, blockLen)
+			for b := 0; b < blocksEach; b++ {
+				for i := range blk {
+					blk[i] = uint64(p)<<32 | uint64(b)<<8 | uint64(i)
+				}
+				q.PushBlock(blk)
+			}
+		}()
+	}
+	for n := 0; n < producers*blocksEach; n++ {
+		first := q.Pop()
+		who, b := first>>32, first>>8&0xffffff
+		if first&0xff != 0 {
+			t.Fatalf("block did not start at word 0: %#x", first)
+		}
+		for i := uint64(1); i < blockLen; i++ {
+			v := q.Pop()
+			if v != who<<32|b<<8|i {
+				t.Fatalf("block torn: word %d of producer %d block %d is %#x", i, who, b, v)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+func TestRegisterSharedSHAManyProducers(t *testing.T) {
+	// §4.5 extension: several threads share one SHA accelerator through a
+	// multi-producer queue; every block's digest must come back intact.
+	in, err := NewMpmc[Word](128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := NewFifo[Word](128)
+	eng, err := RegisterShared(NewSHA256(), in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Unregister()
+
+	const producers = 4
+	const blocksEach = 25
+	makeBlock := func(p, b int) []byte {
+		blk := make([]byte, 64)
+		binary.LittleEndian.PutUint64(blk, uint64(p))
+		binary.LittleEndian.PutUint64(blk[8:], uint64(b))
+		for i := 16; i < 64; i++ {
+			blk[i] = byte(p*31 + b*7 + i)
+		}
+		return blk
+	}
+	want := make(map[[32]byte]bool)
+	for p := 0; p < producers; p++ {
+		for b := 0; b < blocksEach; b++ {
+			want[sha256.Sum256(makeBlock(p, b))] = true
+		}
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < blocksEach; b++ {
+				in.PushBlock(BytesToWords(makeBlock(p, b)))
+			}
+		}()
+	}
+	for n := 0; n < producers*blocksEach; n++ {
+		var digest [32]byte
+		copy(digest[:], WordsToBytes(out.PopN(4)))
+		if !want[digest] {
+			t.Fatalf("digest %d not among expected blocks (block torn by interleaving?)", n)
+		}
+		delete(want, digest)
+	}
+	wg.Wait()
+	if len(want) != 0 {
+		t.Fatalf("%d blocks never hashed", len(want))
+	}
+}
+
+func TestRegisterSharedUnregisterStopsPump(t *testing.T) {
+	in, _ := NewMpmc[Word](16)
+	out, _ := NewFifo[Word](16)
+	eng, err := RegisterShared(NewNull(), in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Push(1)
+	if got := out.Pop(); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	eng.Unregister()
+	in.Push(2) // must not crash; pump exits
+	if !bytes.Equal([]byte{}, []byte{}) {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,8 @@
+package cohort
+
+import "math"
+
+// tiny math shims so the test file reads cleanly
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }
+func sin2pi(x float64) float64             { return math.Sin(2 * math.Pi * x) }
