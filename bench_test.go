@@ -165,6 +165,68 @@ func BenchmarkFifoConcurrent(b *testing.B) {
 	<-done
 }
 
+// BenchmarkFifoBatchSweep is the native-runtime analogue of the Fig. 8/9
+// batch sweeps: the same contiguous run moves through the queue either
+// element-at-a-time (PushAll/PopN, one index publication per word) or as a
+// slice (PushSlice/PopSlice, ONE publication per run). Throughput must rise
+// monotonically with batch size on the slice path, and the slice path must
+// beat the per-element path decisively at large batches — the §4.1 batched
+// index update reproduced in software.
+func BenchmarkFifoBatchSweep(b *testing.B) {
+	for _, batch := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		block := make([]Word, batch)
+		for i := range block {
+			block[i] = Word(i)
+		}
+		b.Run(fmt.Sprintf("element/batch=%d", batch), func(b *testing.B) {
+			q, _ := NewFifo[Word](1024)
+			b.SetBytes(int64(8 * batch))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q.PushAll(block)
+				q.PopN(batch)
+			}
+		})
+		b.Run(fmt.Sprintf("slice/batch=%d", batch), func(b *testing.B) {
+			q, _ := NewFifo[Word](1024)
+			out := make([]Word, batch)
+			b.SetBytes(int64(8 * batch))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q.PushSlice(block)
+				q.PopSlice(out)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineBatchSweep sweeps the engine's drain batch (WithBatch)
+// while streaming words through the null accelerator: the engine-side
+// mirror of the Fig. 8/9 shape — throughput rises with batch size as queue
+// synchronization amortizes over more words per wakeup.
+func BenchmarkEngineBatchSweep(b *testing.B) {
+	const chunk = 1024
+	for _, batch := range []int{1, 2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			in, _ := NewFifo[Word](4096)
+			out, _ := NewFifo[Word](4096)
+			e, err := Register(NewNull(), in, out, WithBatch(batch))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Unregister()
+			data := make([]Word, chunk)
+			res := make([]Word, chunk)
+			b.SetBytes(8 * chunk)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in.PushSlice(data)
+				out.PopSlice(res)
+			}
+		})
+	}
+}
+
 // BenchmarkSHA256Engine measures the native SHA engine end to end.
 func BenchmarkSHA256Engine(b *testing.B) {
 	in, _ := NewFifo[Word](512)
@@ -175,12 +237,13 @@ func BenchmarkSHA256Engine(b *testing.B) {
 	}
 	defer e.Unregister()
 	block := make([]Word, 8)
+	digest := make([]Word, 4)
 	b.SetBytes(64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		block[0] = Word(i)
-		in.PushAll(block)
-		out.PopN(4)
+		in.PushSlice(block)
+		out.PopSlice(digest)
 	}
 }
 
@@ -193,12 +256,14 @@ func BenchmarkAES128Engine(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer e.Unregister()
+	block := make([]Word, 2)
+	ct := make([]Word, 2)
 	b.SetBytes(16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		in.Push(Word(i))
-		in.Push(Word(i) ^ 0xffff)
-		out.PopN(2)
+		block[0], block[1] = Word(i), Word(i)^0xffff
+		in.PushSlice(block)
+		out.PopSlice(ct)
 	}
 }
 
@@ -216,11 +281,12 @@ func BenchmarkChainAESSHA(b *testing.B) {
 		}
 	}()
 	block := make([]Word, 8)
+	digest := make([]Word, 4)
 	b.SetBytes(64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		block[0] = Word(i)
-		in.PushAll(block)
-		out.PopN(4)
+		in.PushSlice(block)
+		out.PopSlice(digest)
 	}
 }

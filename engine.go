@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Word is the endpoint interface width: accelerators consume and produce
@@ -15,7 +16,8 @@ type Word = uint64
 // consumes InWords words and produces OutWords words per block. Configure
 // receives the CSR struct supplied at registration (an AES key, an encoder
 // geometry, ...). Implementations must be safe to call from the single
-// engine goroutine that owns them.
+// engine goroutine that owns them. The slice passed to Process is reused
+// between calls and must not be retained.
 type Accelerator interface {
 	Name() string
 	InWords() int
@@ -24,26 +26,43 @@ type Accelerator interface {
 	Process(in []Word) ([]Word, error)
 }
 
+// DefaultBatch is the engine's default draining batch, in blocks: how many
+// accelerator blocks an engine pulls from its input queue per wakeup
+// (§4.1's batched index updates, applied on the consume side).
+const DefaultBatch = 8
+
+// backoffSpinYields is how many failed polls an engine burns spinning (with
+// yields) before it starts sleeping, when a sleep backoff is configured.
+const backoffSpinYields = 128
+
 // Engine is a running software Cohort engine: a goroutine bridging an input
 // queue to an accelerator to an output queue, exactly as the paper's
 // hardware engine replaces a software thread (§3.3). Create with Register.
 type Engine struct {
-	acc  Accelerator
-	in   *Fifo[Word]
-	out  *Fifo[Word]
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
+	acc   Accelerator
+	in    *Fifo[Word]
+	out   *Fifo[Word]
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+	batch int
+	boMin time.Duration
+	boMax time.Duration
 
 	elemsIn  atomic.Uint64
 	elemsOut atomic.Uint64
+	blocks   atomic.Uint64
+	wakeups  atomic.Uint64
 }
 
 // RegisterOption tunes a Register call.
 type RegisterOption func(*registerCfg)
 
 type registerCfg struct {
-	csr []byte
+	csr   []byte
+	batch int
+	boMin time.Duration
+	boMax time.Duration
 }
 
 // WithCSR supplies the accelerator's configuration struct at registration
@@ -52,10 +71,29 @@ func WithCSR(csr []byte) RegisterOption {
 	return func(c *registerCfg) { c.csr = append([]byte(nil), csr...) }
 }
 
+// WithBatch sets how many accelerator blocks the engine drains from its
+// input queue per wakeup (default DefaultBatch). Larger batches amortize
+// queue synchronization over more words — the software knob matching the
+// batched index updates swept in Fig. 8/9. The engine still processes
+// whatever complete blocks are available; it never waits for a full batch,
+// so latency at low occupancy is unchanged.
+func WithBatch(blocks int) RegisterOption {
+	return func(c *registerCfg) { c.batch = blocks }
+}
+
+// WithBackoff makes an idle engine sleep with exponentially growing pauses
+// in [min, max] instead of spinning, mirroring the hardware engine's backoff
+// unit (§4.2.5): after a burst of spin-yields the engine sleeps min,
+// doubling up to max until work arrives. The zero configuration (or min<=0)
+// keeps the pure spin-yield behavior.
+func WithBackoff(min, max time.Duration) RegisterOption {
+	return func(c *registerCfg) { c.boMin, c.boMax = min, max }
+}
+
 // Register connects an accelerator between two queues and starts its engine
 // — the cohort_register syscall of Table 1. The caller keeps using plain
-// Push/Pop on the queues; chains are built by registering another engine
-// whose input is this engine's output queue.
+// Push/Pop (or the bulk PushSlice/PopSlice) on the queues; chains are built
+// by registering another engine whose input is this engine's output queue.
 func Register(acc Accelerator, in, out *Fifo[Word], opts ...RegisterOption) (*Engine, error) {
 	if acc.InWords() < 1 || acc.OutWords() < 0 {
 		return nil, fmt.Errorf("cohort: accelerator %s has invalid block ratio %d:%d",
@@ -64,79 +102,146 @@ func Register(acc Accelerator, in, out *Fifo[Word], opts ...RegisterOption) (*En
 	if in == nil || out == nil {
 		return nil, fmt.Errorf("cohort: register %s: nil queue", acc.Name())
 	}
-	var cfg registerCfg
+	cfg := registerCfg{batch: DefaultBatch}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.batch < 1 {
+		return nil, fmt.Errorf("cohort: register %s: batch must be >= 1, got %d", acc.Name(), cfg.batch)
+	}
+	if cfg.boMax < cfg.boMin {
+		return nil, fmt.Errorf("cohort: register %s: backoff max %v < min %v", acc.Name(), cfg.boMax, cfg.boMin)
 	}
 	if cfg.csr != nil {
 		if err := acc.Configure(cfg.csr); err != nil {
 			return nil, fmt.Errorf("cohort: configure %s: %w", acc.Name(), err)
 		}
 	}
-	e := &Engine{acc: acc, in: in, out: out, stop: make(chan struct{}), done: make(chan struct{})}
+	e := &Engine{
+		acc: acc, in: in, out: out,
+		stop: make(chan struct{}), done: make(chan struct{}),
+		batch: cfg.batch, boMin: cfg.boMin, boMax: cfg.boMax,
+	}
 	go e.run()
 	return e, nil
 }
 
-// run is the engine loop: assemble a block (the consumer endpoint +
-// ratchet), process, and emit (the producer endpoint).
+// backoff implements the §4.2.5 backoff unit in software: spin-yield for a
+// burst, then sleep with exponentially growing pauses capped at max. A zero
+// min disables sleeping entirely.
+type backoff struct {
+	spins    int
+	cur      time.Duration
+	min, max time.Duration
+}
+
+// wait blocks once according to the policy; it returns false if stop closed
+// while waiting.
+func (b *backoff) wait(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return false
+	default:
+	}
+	if b.min <= 0 {
+		runtime.Gosched()
+		return true
+	}
+	if b.spins < backoffSpinYields {
+		b.spins++
+		runtime.Gosched()
+		return true
+	}
+	d := b.cur
+	if d <= 0 {
+		d = b.min
+	}
+	b.cur = 2 * d
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (b *backoff) reset() { b.spins, b.cur = 0, 0 }
+
+// run is the engine loop: drain a block batch from the input queue (the
+// consumer endpoint + ratchet), process whole blocks, and emit each result
+// with a single index publication (the producer endpoint). Per-element
+// pops/pushes of the seed implementation are replaced by block-granular
+// draining: up to batch × InWords words move per wakeup, so the atomic
+// release-stores — and the cross-core invalidations they cause — are
+// amortized over the whole run, the software analogue of §4.1's batched
+// write-index updates.
 func (e *Engine) run() {
 	defer close(e.done)
-	block := make([]Word, e.acc.InWords())
+	inW := e.acc.InWords()
+	buf := make([]Word, e.batch*inW)
+	fill := 0
+	bo := backoff{min: e.boMin, max: e.boMax}
 	for {
-		for i := range block {
-			w, ok := e.popStoppable()
-			if !ok {
+		n := e.in.TryPopInto(buf[fill:])
+		fill += n
+		if fill < inW {
+			// Not even one complete block yet: back off (or bail out).
+			if n > 0 {
+				bo.reset()
+				continue
+			}
+			if !bo.wait(e.stop) {
 				return
 			}
-			block[i] = w
+			continue
 		}
-		e.elemsIn.Add(uint64(len(block)))
-		res, err := e.acc.Process(block)
-		if err != nil {
-			panic(fmt.Sprintf("cohort: accelerator %s failed mid-stream: %v", e.acc.Name(), err))
-		}
-		for _, w := range res {
-			if !e.pushStoppable(w) {
+		bo.reset()
+		e.wakeups.Add(1)
+		blocks := fill / inW
+		e.elemsIn.Add(uint64(blocks * inW))
+		for b := 0; b < blocks; b++ {
+			res, err := e.acc.Process(buf[b*inW : (b+1)*inW])
+			if err != nil {
+				panic(fmt.Sprintf("cohort: accelerator %s failed mid-stream: %v", e.acc.Name(), err))
+			}
+			if !e.pushSliceStoppable(e.out, res) {
 				return
 			}
+			e.elemsOut.Add(uint64(len(res)))
 		}
-		e.elemsOut.Add(uint64(len(res)))
+		e.blocks.Add(uint64(blocks))
+		copy(buf, buf[blocks*inW:fill])
+		fill -= blocks * inW
 	}
 }
 
-func (e *Engine) popStoppable() (Word, bool) {
-	for {
-		if v, ok := e.in.TryPop(); ok {
-			return v, true
-		}
-		select {
-		case <-e.stop:
-			return 0, false
-		default:
-			runtime.Gosched()
-		}
-	}
-}
-
-func (e *Engine) pushStoppable(w Word) bool {
-	for {
-		if e.out.TryPush(w) {
-			return true
-		}
-		select {
-		case <-e.stop:
-			return false
-		default:
-			runtime.Gosched()
+// pushSliceStoppable bulk-pushes ws into q, giving up if the engine is
+// unregistered mid-push.
+func (e *Engine) pushSliceStoppable(q *Fifo[Word], ws []Word) bool {
+	for len(ws) > 0 {
+		n := q.TryPushSlice(ws)
+		ws = ws[n:]
+		if len(ws) > 0 && n == 0 {
+			select {
+			case <-e.stop:
+				return false
+			default:
+				runtime.Gosched()
+			}
 		}
 	}
+	return true
 }
 
 // Unregister stops the engine (cohort_unregister). Like quiescing hardware,
 // callers should drain in-flight work first: words inside a partially
 // assembled block are dropped. Idempotent; returns once the engine goroutine
-// has exited.
+// has exited (at most one backoff pause later).
 func (e *Engine) Unregister() {
 	e.once.Do(func() { close(e.stop) })
 	<-e.done
@@ -148,11 +253,42 @@ func (e *Engine) Stats() (elemsIn, elemsOut uint64) {
 	return e.elemsIn.Load(), e.elemsOut.Load()
 }
 
+// EngineStats is a snapshot of an engine's performance counters (the
+// software analogue of the hardware engine's counter CSRs). WordsIn/Wakeups
+// is the achieved drain batch size — the direct observable for the §4.1
+// batching win.
+type EngineStats struct {
+	WordsIn  uint64 // words consumed from the input queue
+	WordsOut uint64 // words produced into the output queue
+	Blocks   uint64 // accelerator blocks processed
+	Wakeups  uint64 // drain iterations that found at least one block
+}
+
+// StatsDetail snapshots all engine counters.
+func (e *Engine) StatsDetail() EngineStats {
+	return EngineStats{
+		WordsIn:  e.elemsIn.Load(),
+		WordsOut: e.elemsOut.Load(),
+		Blocks:   e.blocks.Load(),
+		Wakeups:  e.wakeups.Load(),
+	}
+}
+
 // Chain registers a pipeline of accelerators connected by freshly allocated
 // intermediate queues (each of capacity queueCap), returning the engines in
 // order. The caller pushes into `in` and pops from `out` — the Figure 5
-// pattern generalised to N stages.
+// pattern generalised to N stages. Every stage drains at block-batch
+// granularity, so intermediate queues see one index publication per run
+// rather than per word.
 func Chain(in, out *Fifo[Word], queueCap int, accs ...Accelerator) ([]*Engine, error) {
+	return ChainWith(in, out, queueCap, nil, accs...)
+}
+
+// ChainWith is Chain with engine options (e.g. WithBatch, WithBackoff)
+// applied to every stage. Per-accelerator CSR config must still be done via
+// Configure before chaining (a chain-wide WithCSR would misconfigure
+// heterogeneous stages).
+func ChainWith(in, out *Fifo[Word], queueCap int, opts []RegisterOption, accs ...Accelerator) ([]*Engine, error) {
 	if len(accs) == 0 {
 		return nil, fmt.Errorf("cohort: empty chain")
 	}
@@ -167,7 +303,7 @@ func Chain(in, out *Fifo[Word], queueCap int, accs ...Accelerator) ([]*Engine, e
 				return nil, err
 			}
 		}
-		e, err := Register(acc, cur, next)
+		e, err := Register(acc, cur, next, opts...)
 		if err != nil {
 			for _, prev := range engines {
 				prev.Unregister()

@@ -40,8 +40,11 @@ func main() {
 	for i := range data {
 		data[i] = byte(i ^ 0xA5)
 	}
-	encryptQ.PushAll(cohort.BytesToWords(data))
-	chained := cohort.WordsToBytes(resultQ.PopN(8))
+	// One write-index publication for all 16 words (the §4.1 bulk path).
+	encryptQ.PushSlice(cohort.BytesToWords(data))
+	digestWords := make([]cohort.Word, 8)
+	resultQ.PopSlice(digestWords)
+	chained := cohort.WordsToBytes(digestWords)
 
 	// Software reference.
 	ref, _ := aes.NewCipher(key)
@@ -75,8 +78,10 @@ func main() {
 	}
 	defer encEngine2.Unregister()
 
-	plainQ.PushAll(cohort.BytesToWords(data[:64]))
-	sealed := cohort.WordsToBytes(sealedQ.PopN(4))
+	plainQ.PushSlice(cohort.BytesToWords(data[:64]))
+	sealedWords := make([]cohort.Word, 4)
+	sealedQ.PopSlice(sealedWords)
+	sealed := cohort.WordsToBytes(sealedWords)
 
 	digest := sha256.Sum256(data[:64])
 	wantSealed := make([]byte, 32)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"time"
 
 	"cohort"
 	"cohort/internal/accel"
@@ -46,27 +47,34 @@ func main() {
 
 	rawQ, _ := cohort.NewFifo[cohort.Word](4 * encoder.InWords())
 	bitsQ, _ := cohort.NewFifo[cohort.Word](4 * encoder.OutWords())
-	engine, err := cohort.Register(encoder, rawQ, bitsQ)
+	// WithBatch lets the engine drain whole frames per wakeup; WithBackoff
+	// parks it between frames instead of spinning (§4.2.5's backoff unit).
+	engine, err := cohort.Register(encoder, rawQ, bitsQ,
+		cohort.WithBatch(4), cohort.WithBackoff(50*time.Microsecond, time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer engine.Unregister()
 
-	// Producer stage: the "camera" thread pushes raw frames.
+	// Producer stage: the "camera" thread pushes raw frames — each frame is
+	// one PushSlice, i.e. one write-index publication (§4.1's bulk path).
 	originals := make([][]byte, frames)
 	go func() {
 		for t := 0; t < frames; t++ {
 			frame := synthFrame(t)
 			originals[t] = frame
-			rawQ.PushAll(cohort.BytesToWords(frame))
+			rawQ.PushSlice(cohort.BytesToWords(frame))
 		}
 	}()
 
-	// Consumer stage: the "archiver" pops bitstreams and checks quality.
+	// Consumer stage: the "archiver" pops whole bitstream blocks and checks
+	// quality.
 	var rawBytes, codedBytes int
 	worstErr := 0
+	bits := make([]cohort.Word, encoder.OutWords())
 	for t := 0; t < frames; t++ {
-		stream, err := cohort.DecodeH264Output(bitsQ.PopN(encoder.OutWords()))
+		bitsQ.PopSlice(bits)
+		stream, err := cohort.DecodeH264Output(bits)
 		if err != nil {
 			log.Fatal(err)
 		}

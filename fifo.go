@@ -65,7 +65,18 @@ func NewFifo[T any](capacity int) (*Fifo[T], error) {
 func (q *Fifo[T]) Cap() int { return len(q.buf) }
 
 // Len returns the number of queued elements (approximate under concurrency).
-func (q *Fifo[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+// The two index loads are not a snapshot, so the raw difference can transiently
+// fall outside the ring; the result is clamped to [0, Cap()].
+func (q *Fifo[T]) Len() int {
+	d := int64(q.tail.Load() - q.head.Load())
+	if d < 0 {
+		return 0
+	}
+	if d > int64(len(q.buf)) {
+		return len(q.buf)
+	}
+	return int(d)
+}
 
 // TryPush appends v if there is room and reports whether it did.
 func (q *Fifo[T]) TryPush(v T) bool {
@@ -114,18 +125,185 @@ func (q *Fifo[T]) Pop() T {
 	}
 }
 
-// PushAll pushes every element of vs.
+// PushAll pushes every element of vs one at a time, publishing the write
+// index once per element. It is kept as the per-element reference path (and
+// as the baseline in BenchmarkFifoBatchSweep); bulk producers should prefer
+// PushSlice, which publishes once per contiguous run.
 func (q *Fifo[T]) PushAll(vs []T) {
 	for _, v := range vs {
 		q.Push(v)
 	}
 }
 
-// PopN pops exactly n elements.
+// PopN pops exactly n elements one at a time into a fresh slice, publishing
+// the read index once per element. Kept as the per-element reference path;
+// bulk consumers should prefer PopSlice/TryPopInto.
 func (q *Fifo[T]) PopN(n int) []T {
 	out := make([]T, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, q.Pop())
 	}
 	return out
+}
+
+// --- Bulk transfer fast path ------------------------------------------------
+//
+// The methods below are the software analogue of the paper's batched
+// write-index updates (§4.1, Fig. 8/9): a contiguous run of elements moves
+// with at most two copies (the ring has at most one wrap seam) and exactly
+// ONE atomic index publication, amortizing the release-store — and the cache
+// invalidation it causes on the other side — over the whole run.
+
+// TryPushSlice copies as many leading elements of vs as currently fit,
+// publishing the write index once for the whole run. It returns the number
+// of elements pushed (0 when the queue is full).
+func (q *Fifo[T]) TryPushSlice(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	t := q.tail.Load()
+	free := uint64(len(q.buf)) - (t - q.cachedHead)
+	if free < uint64(len(vs)) {
+		q.cachedHead = q.head.Load()
+		free = uint64(len(q.buf)) - (t - q.cachedHead)
+		if free == 0 {
+			return 0
+		}
+	}
+	n := len(vs)
+	if uint64(n) > free {
+		n = int(free)
+	}
+	i := int(t & q.mask)
+	c := copy(q.buf[i:], vs[:n])
+	copy(q.buf, vs[c:n])        // wrap seam, if any
+	q.tail.Store(t + uint64(n)) // release: one publication for the run
+	return n
+}
+
+// PushSlice pushes all of vs, spinning (with yields) while the queue is full.
+func (q *Fifo[T]) PushSlice(vs []T) {
+	for len(vs) > 0 {
+		n := q.TryPushSlice(vs)
+		vs = vs[n:]
+		if n == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryPopInto fills dst with up to len(dst) elements, publishing the read
+// index once for the whole run. It returns the number of elements popped
+// (0 when the queue is empty).
+func (q *Fifo[T]) TryPopInto(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	h := q.head.Load()
+	avail := q.cachedTail - h
+	if avail < uint64(len(dst)) {
+		q.cachedTail = q.tail.Load()
+		avail = q.cachedTail - h
+		if avail == 0 {
+			return 0
+		}
+	}
+	n := len(dst)
+	if uint64(n) > avail {
+		n = int(avail)
+	}
+	i := int(h & q.mask)
+	c := copy(dst[:n], q.buf[i:])
+	copy(dst[c:n], q.buf) // wrap seam, if any
+	clear(q.buf[i : i+c]) // drop references for the GC
+	clear(q.buf[:n-c])
+	q.head.Store(h + uint64(n)) // release: one publication for the run
+	return n
+}
+
+// PopSlice fills dst completely, spinning (with yields) while the queue is
+// empty.
+func (q *Fifo[T]) PopSlice(dst []T) {
+	for len(dst) > 0 {
+		n := q.TryPopInto(dst)
+		dst = dst[n:]
+		if n == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// --- Zero-copy segment views ------------------------------------------------
+//
+// Segment views expose the ring storage itself, mirroring §4.1.1's
+// pointer-organised descriptors: instead of copying through an intermediate
+// slice, the producer (consumer) works directly on the free (occupied) region
+// and then commits, which performs the single index publication. The views
+// are at most two slices because the region wraps the ring at most once.
+
+// WriteSegments returns the currently free space as up to two contiguous ring
+// segments (fill a first, then b). The views are only valid until the next
+// producer-side call; publish what was written with CommitWrite. Producer
+// side only.
+func (q *Fifo[T]) WriteSegments() (a, b []T) {
+	t := q.tail.Load()
+	q.cachedHead = q.head.Load()
+	free := uint64(len(q.buf)) - (t - q.cachedHead)
+	if free == 0 {
+		return nil, nil
+	}
+	i := int(t & q.mask)
+	first := int(free)
+	if first > len(q.buf)-i {
+		first = len(q.buf) - i
+	}
+	return q.buf[i : i+first], q.buf[:int(free)-first]
+}
+
+// CommitWrite publishes n elements previously written into the views returned
+// by WriteSegments, with a single release-store. n must not exceed the total
+// length of those views.
+func (q *Fifo[T]) CommitWrite(n int) {
+	t := q.tail.Load()
+	if n < 0 || uint64(n) > uint64(len(q.buf))-(t-q.cachedHead) {
+		panic(fmt.Sprintf("cohort: CommitWrite(%d) exceeds free space", n))
+	}
+	q.tail.Store(t + uint64(n))
+}
+
+// ReadSegments returns the currently occupied region as up to two contiguous
+// ring segments (consume a first, then b). The views are only valid until the
+// next consumer-side call; release the consumed prefix with CommitRead.
+// Consumer side only.
+func (q *Fifo[T]) ReadSegments() (a, b []T) {
+	h := q.head.Load()
+	q.cachedTail = q.tail.Load()
+	avail := q.cachedTail - h
+	if avail == 0 {
+		return nil, nil
+	}
+	i := int(h & q.mask)
+	first := int(avail)
+	if first > len(q.buf)-i {
+		first = len(q.buf) - i
+	}
+	return q.buf[i : i+first], q.buf[:int(avail)-first]
+}
+
+// CommitRead frees the first n elements of the views returned by
+// ReadSegments, with a single release-store. The freed slots are cleared so
+// the queue never pins consumed values for the GC.
+func (q *Fifo[T]) CommitRead(n int) {
+	h := q.head.Load()
+	if n < 0 || uint64(n) > q.cachedTail-h {
+		panic(fmt.Sprintf("cohort: CommitRead(%d) exceeds occupied space", n))
+	}
+	i := int(h & q.mask)
+	first := n
+	if first > len(q.buf)-i {
+		first = len(q.buf) - i
+	}
+	clear(q.buf[i : i+first])
+	clear(q.buf[:n-first])
+	q.head.Store(h + uint64(n))
 }

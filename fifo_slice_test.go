@@ -1,0 +1,380 @@
+package cohort
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// offsetQueue returns a cap-`capacity` queue whose head/tail sit at `offset`,
+// so subsequent runs straddle the ring's wrap seam.
+func offsetQueue(t *testing.T, capacity, offset int) *Fifo[uint64] {
+	t.Helper()
+	q, err := NewFifo[uint64](capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < offset; i++ {
+		q.Push(^uint64(0))
+		q.Pop()
+	}
+	return q
+}
+
+func TestTryPushSliceWraparound(t *testing.T) {
+	// Every (offset, runLen) pair on a cap-8 ring, including runs that
+	// straddle the mask boundary.
+	for offset := 0; offset < 8; offset++ {
+		for runLen := 1; runLen <= 8; runLen++ {
+			q := offsetQueue(t, 8, offset)
+			vs := make([]uint64, runLen)
+			for i := range vs {
+				vs[i] = uint64(offset*100 + i)
+			}
+			if n := q.TryPushSlice(vs); n != runLen {
+				t.Fatalf("offset=%d runLen=%d: pushed %d", offset, runLen, n)
+			}
+			if q.Len() != runLen {
+				t.Fatalf("offset=%d runLen=%d: Len=%d", offset, runLen, q.Len())
+			}
+			for i := 0; i < runLen; i++ {
+				if v := q.Pop(); v != vs[i] {
+					t.Fatalf("offset=%d runLen=%d: element %d = %d, want %d", offset, runLen, i, v, vs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTryPopIntoWraparound(t *testing.T) {
+	for offset := 0; offset < 8; offset++ {
+		for runLen := 1; runLen <= 8; runLen++ {
+			q := offsetQueue(t, 8, offset)
+			for i := 0; i < runLen; i++ {
+				q.Push(uint64(offset*100 + i))
+			}
+			dst := make([]uint64, runLen)
+			if n := q.TryPopInto(dst); n != runLen {
+				t.Fatalf("offset=%d runLen=%d: popped %d", offset, runLen, n)
+			}
+			for i := range dst {
+				if dst[i] != uint64(offset*100+i) {
+					t.Fatalf("offset=%d runLen=%d: element %d = %d", offset, runLen, i, dst[i])
+				}
+			}
+			if q.Len() != 0 {
+				t.Fatalf("offset=%d runLen=%d: Len=%d after drain", offset, runLen, q.Len())
+			}
+		}
+	}
+}
+
+func TestTryPushSlicePartialWhenNearlyFull(t *testing.T) {
+	q := offsetQueue(t, 8, 5) // wrap seam inside the free region
+	for i := 0; i < 5; i++ {
+		q.Push(uint64(i))
+	}
+	// Only 3 slots free; an 8-element push must take exactly 3.
+	vs := []uint64{100, 101, 102, 103, 104, 105, 106, 107}
+	if n := q.TryPushSlice(vs); n != 3 {
+		t.Fatalf("partial push took %d, want 3", n)
+	}
+	if n := q.TryPushSlice(vs[3:]); n != 0 {
+		t.Fatalf("push into full queue took %d", n)
+	}
+	want := []uint64{0, 1, 2, 3, 4, 100, 101, 102}
+	dst := make([]uint64, 8)
+	if n := q.TryPopInto(dst); n != 8 {
+		t.Fatalf("popped %d, want 8", n)
+	}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Fatalf("element %d = %d, want %d", i, dst[i], w)
+		}
+	}
+}
+
+func TestTryPopIntoPartialWhenNearlyEmpty(t *testing.T) {
+	q := offsetQueue(t, 8, 6)
+	q.Push(1)
+	q.Push(2)
+	dst := make([]uint64, 8)
+	if n := q.TryPopInto(dst); n != 2 || dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("partial pop = %d (%v)", n, dst[:2])
+	}
+	if n := q.TryPopInto(dst); n != 0 {
+		t.Fatalf("pop from empty queue took %d", n)
+	}
+}
+
+func TestSliceOpsEmptyArgs(t *testing.T) {
+	q, _ := NewFifo[uint64](4)
+	if n := q.TryPushSlice(nil); n != 0 {
+		t.Fatalf("TryPushSlice(nil) = %d", n)
+	}
+	if n := q.TryPopInto(nil); n != 0 {
+		t.Fatalf("TryPopInto(nil) = %d", n)
+	}
+	q.PushSlice(nil) // must not spin
+	q.PopSlice(nil)
+}
+
+func TestPushSliceLargerThanCapacity(t *testing.T) {
+	// A run much larger than the ring flows through in segments while a
+	// consumer drains concurrently.
+	q, _ := NewFifo[uint64](8)
+	const n = 10000
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = uint64(i)
+	}
+	go q.PushSlice(vs)
+	dst := make([]uint64, n)
+	q.PopSlice(dst)
+	for i := range dst {
+		if dst[i] != uint64(i) {
+			t.Fatalf("element %d = %d", i, dst[i])
+		}
+	}
+}
+
+func TestWriteReadSegmentsAcrossWrap(t *testing.T) {
+	q := offsetQueue(t, 8, 5) // free region wraps: [5..8) then [0..5)
+	a, bseg := q.WriteSegments()
+	if len(a)+len(bseg) != 8 {
+		t.Fatalf("free views = %d+%d, want 8 total", len(a), len(bseg))
+	}
+	if len(a) != 3 || len(bseg) != 5 {
+		t.Fatalf("segment split = %d+%d, want 3+5", len(a), len(bseg))
+	}
+	for i := range a {
+		a[i] = uint64(i)
+	}
+	for i := range bseg {
+		bseg[i] = uint64(len(a) + i)
+	}
+	q.CommitWrite(6) // publish 6 of the 8 written slots in one store
+	if q.Len() != 6 {
+		t.Fatalf("Len = %d after CommitWrite(6)", q.Len())
+	}
+
+	ra, rb := q.ReadSegments()
+	if len(ra)+len(rb) != 6 {
+		t.Fatalf("occupied views = %d+%d, want 6 total", len(ra), len(rb))
+	}
+	if len(ra) != 3 || len(rb) != 3 {
+		t.Fatalf("read split = %d+%d, want 3+3", len(ra), len(rb))
+	}
+	for i := 0; i < 3; i++ {
+		if ra[i] != uint64(i) {
+			t.Fatalf("ra[%d] = %d", i, ra[i])
+		}
+		if rb[i] != uint64(3+i) {
+			t.Fatalf("rb[%d] = %d", i, rb[i])
+		}
+	}
+	q.CommitRead(4)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d after CommitRead(4)", q.Len())
+	}
+	if v := q.Pop(); v != 4 {
+		t.Fatalf("next element = %d, want 4", v)
+	}
+}
+
+func TestSegmentsEmptyAndFull(t *testing.T) {
+	q, _ := NewFifo[uint64](4)
+	if a, b := q.ReadSegments(); a != nil || b != nil {
+		t.Fatal("ReadSegments on empty queue returned views")
+	}
+	for i := 0; i < 4; i++ {
+		q.Push(uint64(i))
+	}
+	if a, b := q.WriteSegments(); a != nil || b != nil {
+		t.Fatal("WriteSegments on full queue returned views")
+	}
+}
+
+func TestCommitTooMuchPanics(t *testing.T) {
+	q, _ := NewFifo[uint64](4)
+	q.Push(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CommitWrite beyond free space accepted")
+			}
+		}()
+		q.WriteSegments()
+		q.CommitWrite(4) // only 3 free
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CommitRead beyond occupied space accepted")
+			}
+		}()
+		q.ReadSegments()
+		q.CommitRead(2) // only 1 occupied
+	}()
+}
+
+func TestBulkPopClearsSlotsForGC(t *testing.T) {
+	// Pointer elements must not be pinned by the ring after they are popped.
+	q, _ := NewFifo[*int](8)
+	vs := make([]*int, 6)
+	for i := range vs {
+		v := i
+		vs[i] = &v
+	}
+	q.PushSlice(vs)
+	dst := make([]*int, 6)
+	q.PopSlice(dst)
+	for i, p := range q.buf {
+		if p != nil {
+			t.Fatalf("ring slot %d still holds a popped pointer", i)
+		}
+	}
+	// Same for the segment path.
+	q.PushSlice(vs)
+	q.ReadSegments()
+	q.CommitRead(6)
+	for i, p := range q.buf {
+		if p != nil {
+			t.Fatalf("ring slot %d still pinned after CommitRead", i)
+		}
+	}
+}
+
+func TestLenClampedUnderConcurrency(t *testing.T) {
+	// Len is sampled from a third goroutine while a producer and a consumer
+	// move the indices: exactly the window where the unclamped subtraction
+	// could observe head > tail and underflow.
+	q, _ := NewFifo[uint64](64)
+	const n = 50000
+	done := make(chan struct{})
+	go func() {
+		for i := uint64(0); i < n; i++ {
+			q.Push(i)
+		}
+	}()
+	go func() {
+		defer close(done)
+		for i := uint64(0); i < n; i++ {
+			q.Pop()
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if l := q.Len(); l < 0 || l > q.Cap() {
+			t.Fatalf("Len = %d outside [0, %d]", l, q.Cap())
+		}
+		runtime.Gosched() // keep the movers running on single-CPU boxes
+	}
+}
+
+// TestFifoBulkPropertyConcurrent drives a concurrent producer/consumer pair
+// through randomly sized bulk operations and checks the consumed stream
+// against the sequential reference (the integers in order) — the SPSC
+// contract must survive arbitrary run fragmentation and wrap seams. Run with
+// -race in CI.
+func TestFifoBulkPropertyConcurrent(t *testing.T) {
+	const total = 50000
+	for _, capacity := range []int{4, 64, 1024} {
+		q, _ := NewFifo[uint64](capacity)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(42))
+			next := uint64(0)
+			buf := make([]uint64, 3*capacity)
+			for next < total {
+				k := 1 + rng.Intn(len(buf))
+				if rem := total - int(next); k > rem {
+					k = rem
+				}
+				for i := 0; i < k; i++ {
+					buf[i] = next
+					next++
+				}
+				q.PushSlice(buf[:k])
+			}
+		}()
+		rng := rand.New(rand.NewSource(43))
+		expect := uint64(0)
+		dst := make([]uint64, 3*capacity)
+		for expect < total {
+			k := 1 + rng.Intn(len(dst))
+			n := q.TryPopInto(dst[:k])
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if dst[i] != expect {
+					t.Fatalf("cap=%d: element %d = %d (lost or reordered)", capacity, expect, dst[i])
+				}
+				expect++
+			}
+		}
+		wg.Wait()
+		if q.Len() != 0 {
+			t.Fatalf("cap=%d: Len = %d after drain", capacity, q.Len())
+		}
+	}
+}
+
+// TestFifoBulkMatchesSequentialReference interleaves bulk and scalar ops on
+// one goroutine against a model slice.
+func TestFifoBulkMatchesSequentialReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q, _ := NewFifo[uint64](16)
+	var model []uint64
+	next := uint64(0)
+	for step := 0; step < 20000; step++ {
+		switch rng.Intn(4) {
+		case 0: // bulk push
+			k := 1 + rng.Intn(20)
+			vs := make([]uint64, k)
+			for i := range vs {
+				vs[i] = next
+				next++
+			}
+			n := q.TryPushSlice(vs)
+			model = append(model, vs[:n]...)
+			next -= uint64(k - n) // unpushed values are re-generated later
+		case 1: // scalar push
+			if q.TryPush(next) {
+				model = append(model, next)
+				next++
+			}
+		case 2: // bulk pop
+			dst := make([]uint64, 1+rng.Intn(20))
+			n := q.TryPopInto(dst)
+			if n > len(model) {
+				t.Fatalf("step %d: popped %d with only %d queued", step, n, len(model))
+			}
+			for i := 0; i < n; i++ {
+				if dst[i] != model[i] {
+					t.Fatalf("step %d: element %d = %d, want %d", step, i, dst[i], model[i])
+				}
+			}
+			model = model[n:]
+		case 3: // scalar pop
+			if v, ok := q.TryPop(); ok {
+				if len(model) == 0 || v != model[0] {
+					t.Fatalf("step %d: scalar pop = %d, model %v", step, v, model)
+				}
+				model = model[1:]
+			}
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model has %d", step, q.Len(), len(model))
+		}
+	}
+}

@@ -10,13 +10,21 @@ import (
 // direction made concrete: byte-stream (Unix-pipe-style) adapters over word
 // queues, so accelerators compose with io.Copy and friends.
 
+// batchWords sizes the adapters' reusable word buffers: up to this many
+// words move per queue index publication on the bulk path.
+const batchWords = 512
+
 // Writer adapts a word queue to io.WriteCloser: bytes are packed
 // little-endian into 64-bit words, buffering partial words until eight bytes
-// accumulate. Close flushes a zero-padded final word if one is pending.
+// accumulate. Whole-word runs take the bulk path: they are packed into a
+// reusable buffer and pushed with PushSlice, one queue index publication per
+// run instead of per word. Close flushes a zero-padded final word if one is
+// pending.
 type Writer struct {
 	q      *Fifo[Word]
 	stage  [8]byte
 	nstage int
+	batch  []Word
 	closed bool
 }
 
@@ -29,7 +37,8 @@ func (w *Writer) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("cohort: write on closed queue writer")
 	}
 	n := len(p)
-	for len(p) > 0 {
+	// Complete a pending partial word first.
+	if w.nstage > 0 {
 		c := copy(w.stage[w.nstage:], p)
 		w.nstage += c
 		p = p[c:]
@@ -37,6 +46,25 @@ func (w *Writer) Write(p []byte) (int, error) {
 			w.q.Push(binary.LittleEndian.Uint64(w.stage[:]))
 			w.nstage = 0
 		}
+	}
+	// Bulk path: pack full words and push each run with one publication.
+	for len(p) >= 8 {
+		if w.batch == nil {
+			w.batch = make([]Word, batchWords)
+		}
+		k := len(p) / 8
+		if k > len(w.batch) {
+			k = len(w.batch)
+		}
+		for i := 0; i < k; i++ {
+			w.batch[i] = binary.LittleEndian.Uint64(p[8*i:])
+		}
+		w.q.PushSlice(w.batch[:k])
+		p = p[8*k:]
+	}
+	// Stage the sub-word tail.
+	if len(p) > 0 {
+		w.nstage = copy(w.stage[:], p)
 	}
 	return n, nil
 }
@@ -61,13 +89,17 @@ func (w *Writer) Close() error {
 // word boundary or Close).
 func (w *Writer) Pending() int { return w.nstage }
 
-// Reader adapts a word queue to io.Reader: each popped word yields eight
-// little-endian bytes. The stream is endless by construction (queues carry
-// no EOF); bound it with io.LimitReader or io.ReadFull for exact sizes.
+// Reader adapts a word queue to io.Reader: popped words yield little-endian
+// bytes. Large reads take the bulk path: one blocking pop for the first
+// word, then an opportunistic TryPopInto grabs the rest of the available run
+// with a single index publication. The stream is endless by construction
+// (queues carry no EOF); bound it with io.LimitReader or io.ReadFull for
+// exact sizes.
 type Reader struct {
 	q      *Fifo[Word]
 	stage  [8]byte
 	nstage int // unread bytes remaining in stage (consumed from the front)
+	batch  []Word
 }
 
 // NewReader wraps q.
@@ -78,11 +110,31 @@ func (r *Reader) Read(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	if r.nstage == 0 {
-		binary.LittleEndian.PutUint64(r.stage[:], r.q.Pop())
-		r.nstage = 8
+	// Serve staged bytes first.
+	if r.nstage > 0 {
+		n := copy(p, r.stage[8-r.nstage:])
+		r.nstage -= n
+		return n, nil
 	}
-	n := copy(p, r.stage[8-r.nstage:])
+	// Bulk path: pop as many whole words as fit directly into p.
+	if len(p) >= 8 {
+		if r.batch == nil {
+			r.batch = make([]Word, batchWords)
+		}
+		k := len(p) / 8
+		if k > len(r.batch) {
+			k = len(r.batch)
+		}
+		r.batch[0] = r.q.Pop() // block for the first word
+		n := 1 + r.q.TryPopInto(r.batch[1:k])
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(p[8*i:], r.batch[i])
+		}
+		return 8 * n, nil
+	}
+	binary.LittleEndian.PutUint64(r.stage[:], r.q.Pop())
+	r.nstage = 8
+	n := copy(p, r.stage[:])
 	r.nstage -= n
 	return n, nil
 }

@@ -50,8 +50,27 @@ func NewMpmc[T any](capacity int) (*Mpmc[T], error) {
 // Cap returns the queue capacity.
 func (q *Mpmc[T]) Cap() int { return len(q.buf) }
 
-// TryPush appends v if there is room.
-func (q *Mpmc[T]) TryPush(v T) bool { return q.TryPushBlock([]T{v}) }
+// TryPush appends v if there is room. This is a scalar fast path (no slice
+// header, no allocation): single-word producers go straight to the cell CAS
+// instead of through TryPushBlock.
+func (q *Mpmc[T]) TryPush(v T) bool {
+	for {
+		pos := q.enq.Load()
+		c := &q.buf[pos&q.mask]
+		seq := c.seq.Load()
+		diff := int64(seq) - int64(pos)
+		if diff == 0 {
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				c.v = v
+				c.seq.Store(pos + 1) // publish
+				return true
+			}
+		} else if diff < 0 {
+			return false // full (or a consumer has not yet freed the lap)
+		}
+		// diff > 0: another producer advanced enq under us; reload and retry.
+	}
+}
 
 // Push appends v, spinning while full.
 func (q *Mpmc[T]) Push(v T) {
@@ -135,8 +154,67 @@ func (q *Mpmc[T]) Pop() T {
 	}
 }
 
-// Len approximates the number of queued elements.
-func (q *Mpmc[T]) Len() int { return int(q.enq.Load() - q.deq.Load()) }
+// TryPopBlock atomically claims len(dst) contiguous slots from the head and
+// fills dst from them, or does nothing and returns false if fewer elements
+// are currently published. The claimed run is released with one consumer
+// index CAS — the consume-side mirror of TryPushBlock — so a multi-word
+// accelerator block reserved by one producer is recovered intact.
+func (q *Mpmc[T]) TryPopBlock(dst []T) bool {
+	n := uint64(len(dst))
+	if n == 0 {
+		return true
+	}
+	if n > uint64(len(q.buf)) {
+		panic(fmt.Sprintf("cohort: block of %d exceeds queue capacity %d", n, len(q.buf)))
+	}
+	var zero T
+	for {
+		pos := q.deq.Load()
+		// The run's last cell must be published; since producers reserve
+		// contiguously from enq, that implies every cell in [pos, pos+n) is
+		// at least reserved (possibly still being filled — handled below).
+		last := &q.buf[(pos+n-1)&q.mask]
+		if last.seq.Load() != pos+n {
+			first := &q.buf[pos&q.mask]
+			if first.seq.Load() > pos+1 {
+				continue // another consumer advanced deq under us; reload
+			}
+			return false // not enough published elements right now
+		}
+		if q.deq.CompareAndSwap(pos, pos+n) {
+			for i := uint64(0); i < n; i++ {
+				c := &q.buf[(pos+i)&q.mask]
+				for c.seq.Load() != pos+i+1 {
+					runtime.Gosched() // producer mid-fill on an interior cell
+				}
+				dst[i] = c.v
+				c.v = zero
+				c.seq.Store(pos + i + uint64(len(q.buf))) // free for the next lap
+			}
+			return true
+		}
+	}
+}
+
+// PopBlock fills dst from a contiguous run of slots, spinning until enough
+// elements are published.
+func (q *Mpmc[T]) PopBlock(dst []T) {
+	for !q.TryPopBlock(dst) {
+		runtime.Gosched()
+	}
+}
+
+// Len approximates the number of queued elements, clamped to [0, Cap()].
+func (q *Mpmc[T]) Len() int {
+	d := int64(q.enq.Load() - q.deq.Load())
+	if d < 0 {
+		return 0
+	}
+	if d > int64(len(q.buf)) {
+		return len(q.buf)
+	}
+	return int(d)
+}
 
 // RegisterShared connects an accelerator between a multi-producer input
 // queue and an SPSC output queue: any number of goroutines PushBlock whole
@@ -146,7 +224,11 @@ func RegisterShared(acc Accelerator, in *Mpmc[Word], out *Fifo[Word], opts ...Re
 	if in == nil || out == nil {
 		return nil, fmt.Errorf("cohort: register %s: nil queue", acc.Name())
 	}
-	bridge, err := NewFifo[Word](2 * acc.InWords())
+	bridgeCap := 4 * acc.InWords()
+	if bridgeCap < 64 {
+		bridgeCap = 64
+	}
+	bridge, err := NewFifo[Word](bridgeCap)
 	if err != nil {
 		return nil, err
 	}
@@ -156,10 +238,22 @@ func RegisterShared(acc Accelerator, in *Mpmc[Word], out *Fifo[Word], opts ...Re
 	}
 	// A pump moves published words from the shared queue into the engine's
 	// private SPSC input (the single consumer the MPSC contract requires).
+	// It drains the shared queue a run at a time and forwards each run with
+	// a single bridge index publication (the bulk fast path), so the extra
+	// hop costs one release-store per batch rather than one per word.
 	go func() {
+		batch := make([]Word, bridgeCap)
 		for {
-			v, ok := in.TryPop()
-			if !ok {
+			n := 0
+			for n < len(batch) {
+				v, ok := in.TryPop()
+				if !ok {
+					break
+				}
+				batch[n] = v
+				n++
+			}
+			if n == 0 {
 				select {
 				case <-eng.stop:
 					return
@@ -168,26 +262,10 @@ func RegisterShared(acc Accelerator, in *Mpmc[Word], out *Fifo[Word], opts ...Re
 					continue
 				}
 			}
-			if !eng.pushPump(bridge, v) {
+			if !eng.pushSliceStoppable(bridge, batch[:n]) {
 				return
 			}
 		}
 	}()
 	return eng, nil
-}
-
-// pushPump pushes into the engine's bridge queue, giving up if the engine is
-// unregistered.
-func (e *Engine) pushPump(bridge *Fifo[Word], v Word) bool {
-	for {
-		if bridge.TryPush(v) {
-			return true
-		}
-		select {
-		case <-e.stop:
-			return false
-		default:
-			runtime.Gosched()
-		}
-	}
 }

@@ -126,6 +126,98 @@ func TestMpmcBlocksStayContiguous(t *testing.T) {
 	wg.Wait()
 }
 
+func TestMpmcTryPushDoesNotAllocate(t *testing.T) {
+	// The scalar fast path must not build a 1-element slice per call.
+	q, _ := NewMpmc[uint64](64)
+	if n := testing.AllocsPerRun(200, func() {
+		q.TryPush(1)
+		q.TryPop()
+	}); n != 0 {
+		t.Fatalf("TryPush/TryPop allocate %.1f objects per op, want 0", n)
+	}
+}
+
+func TestMpmcPopBlockBasics(t *testing.T) {
+	q, _ := NewMpmc[int](8)
+	dst := make([]int, 3)
+	if q.TryPopBlock(dst) {
+		t.Fatal("TryPopBlock succeeded on empty queue")
+	}
+	q.PushBlock([]int{1, 2})
+	if q.TryPopBlock(dst) {
+		t.Fatal("TryPopBlock(3) succeeded with only 2 queued")
+	}
+	q.Push(3)
+	if !q.TryPopBlock(dst) || dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatalf("TryPopBlock = %v", dst)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after block pop", q.Len())
+	}
+	if !q.TryPopBlock(nil) {
+		t.Fatal("zero-length block pop must trivially succeed")
+	}
+	// Many laps through the ring with block push + block pop.
+	blk := make([]int, 4)
+	for lap := 0; lap < 500; lap++ {
+		q.PushBlock([]int{lap, lap + 1, lap + 2, lap + 3})
+		q.PopBlock(blk)
+		for i := range blk {
+			if blk[i] != lap+i {
+				t.Fatalf("lap %d word %d = %d", lap, i, blk[i])
+			}
+		}
+	}
+}
+
+func TestMpmcPopBlockTooBigPanics(t *testing.T) {
+	q, _ := NewMpmc[int](4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized block pop accepted")
+		}
+	}()
+	q.TryPopBlock(make([]int, 9))
+}
+
+func TestMpmcPopBlockKeepsProducerBlocksIntact(t *testing.T) {
+	// Concurrent producers PushBlock; the consumer recovers whole blocks with
+	// PopBlock — the bulk consume-side mirror of the contiguity guarantee.
+	q, _ := NewMpmc[uint64](64)
+	const producers = 4
+	const blocksEach = 200
+	const blockLen = 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blk := make([]uint64, blockLen)
+			for b := 0; b < blocksEach; b++ {
+				for i := range blk {
+					blk[i] = uint64(p)<<32 | uint64(b)<<8 | uint64(i)
+				}
+				q.PushBlock(blk)
+			}
+		}()
+	}
+	blk := make([]uint64, blockLen)
+	for n := 0; n < producers*blocksEach; n++ {
+		q.PopBlock(blk)
+		who, b := blk[0]>>32, blk[0]>>8&0xffffff
+		if blk[0]&0xff != 0 {
+			t.Fatalf("block did not start at word 0: %#x", blk[0])
+		}
+		for i := uint64(1); i < blockLen; i++ {
+			if blk[i] != who<<32|b<<8|i {
+				t.Fatalf("block torn: word %d of producer %d block %d is %#x", i, who, b, blk[i])
+			}
+		}
+	}
+	wg.Wait()
+}
+
 func TestRegisterSharedSHAManyProducers(t *testing.T) {
 	// §4.5 extension: several threads share one SHA accelerator through a
 	// multi-producer queue; every block's digest must come back intact.
