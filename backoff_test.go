@@ -1,0 +1,95 @@
+package cohort
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBackoffSpinsBeforeSleeping checks the §4.2.5 policy's first phase: a
+// configured backoff burns exactly backoffSpinYields yielding polls before
+// its first timer sleep.
+func TestBackoffSpinsBeforeSleeping(t *testing.T) {
+	var sleeps atomic.Uint64
+	b := backoff{min: time.Microsecond, max: 8 * time.Microsecond, sleeps: &sleeps}
+	stop := make(chan struct{})
+	for i := 0; i < backoffSpinYields; i++ {
+		if !b.wait(stop) {
+			t.Fatal("wait returned false with stop open")
+		}
+	}
+	if got := sleeps.Load(); got != 0 {
+		t.Fatalf("slept %d times during the spin phase, want 0", got)
+	}
+	if b.cur != 0 {
+		t.Fatalf("cur advanced to %v during the spin phase", b.cur)
+	}
+	if !b.wait(stop) {
+		t.Fatal("wait returned false with stop open")
+	}
+	if got := sleeps.Load(); got != 1 {
+		t.Fatalf("first post-spin wait slept %d times, want 1", got)
+	}
+}
+
+// TestBackoffDoublesUpToMax checks the second phase: sleep durations double
+// from min and are capped at max.
+func TestBackoffDoublesUpToMax(t *testing.T) {
+	b := backoff{min: time.Microsecond, max: 8 * time.Microsecond}
+	b.spins = backoffSpinYields // skip the spin phase
+	stop := make(chan struct{})
+	want := []time.Duration{
+		2 * time.Microsecond, // slept min, doubled
+		4 * time.Microsecond,
+		8 * time.Microsecond,
+		8 * time.Microsecond, // capped
+		8 * time.Microsecond,
+	}
+	for i, w := range want {
+		if !b.wait(stop) {
+			t.Fatal("wait returned false with stop open")
+		}
+		if b.cur != w {
+			t.Fatalf("after wait %d: cur = %v, want %v", i+1, b.cur, w)
+		}
+	}
+	b.reset()
+	if b.cur != 0 || b.spins != 0 {
+		t.Fatalf("reset left cur=%v spins=%d", b.cur, b.spins)
+	}
+}
+
+// TestBackoffStopMidSleep checks an engine parks out of a long sleep
+// promptly when stop closes — the Unregister latency bound.
+func TestBackoffStopMidSleep(t *testing.T) {
+	b := backoff{min: 10 * time.Second, max: 10 * time.Second}
+	b.spins = backoffSpinYields
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	start := time.Now()
+	go func() { done <- b.wait(stop) }()
+	time.Sleep(10 * time.Millisecond) // let wait reach the timer select
+	close(stop)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("wait returned true after stop closed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wait did not return after stop closed")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wait took %v to notice stop, want well under the 10s sleep", elapsed)
+	}
+}
+
+// TestBackoffStopAlreadyClosed checks wait never blocks once stop is closed.
+func TestBackoffStopAlreadyClosed(t *testing.T) {
+	b := backoff{min: 10 * time.Second, max: 10 * time.Second}
+	b.spins = backoffSpinYields
+	stop := make(chan struct{})
+	close(stop)
+	if b.wait(stop) {
+		t.Fatal("wait returned true with stop already closed")
+	}
+}

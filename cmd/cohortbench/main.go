@@ -30,12 +30,26 @@ func main() {
 	maxQueue := flag.Int("max-queue", 8192, "largest queue size in the sweeps")
 	verify := flag.Bool("verify", true, "cryptographically verify every run's outputs")
 	csvDir := flag.String("csv", "", "also write figure/table data as CSV files into this directory")
+	tracePath := flag.String("trace", "",
+		"write a Chrome trace-event JSON timeline (one benchmark point per mode) to this file")
+	metrics := flag.Bool("metrics", false,
+		"print the per-subsystem counter snapshot for one benchmark point per mode")
 	flag.Parse()
 	csvOut = *csvDir
 
 	p := bench.DefaultParams()
 	if *maxQueue < p.MaxQueue {
 		p.MaxQueue = *maxQueue
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, *experiment, p); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
+	if *metrics {
+		if err := printMetrics(*experiment, p); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
 	}
 	s := bench.NewSuite(p, *verify)
 
@@ -148,6 +162,63 @@ func ablations(maxQueue int) error {
 	for _, st := range studies {
 		fmt.Println(st.Format())
 	}
+	return nil
+}
+
+// observedPoint picks the benchmark point the -trace/-metrics flags observe:
+// the workload matching the selected experiment (AES for fig9/fig11, SHA
+// otherwise) at a modest queue size so the trace stays viewer-friendly.
+func observedPoint(experiment string, p bench.Params) (bench.Workload, int, int) {
+	w := bench.SHA
+	if experiment == "fig9" || experiment == "fig11" {
+		w = bench.AES
+	}
+	q := 64
+	if p.MaxQueue < q {
+		q = p.MaxQueue
+	}
+	return w, q, 8
+}
+
+func writeTrace(path, experiment string, p bench.Params) error {
+	w, q, batch := observedPoint(experiment, p)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteTrace(f, w, q, batch); err != nil {
+		return err
+	}
+	fmt.Printf("trace for %v (queue %d, all three modes) written to %s (open at https://ui.perfetto.dev)\n\n",
+		w, q, path)
+	return nil
+}
+
+func printMetrics(experiment string, p bench.Params) error {
+	w, q, batch := observedPoint(experiment, p)
+	fmt.Printf("== Metrics: %v, queue size %d ==\n", w, q)
+	for _, mode := range []bench.Mode{bench.Cohort, bench.MMIO, bench.DMA} {
+		res, err := bench.Run(bench.RunConfig{
+			Workload: w, Mode: mode, QueueSize: q, Batch: batch, Verify: true,
+		})
+		if err != nil {
+			return err
+		}
+		m := res.Metrics
+		fmt.Printf("%s: %d cycles, IPC %.3f\n", mode, res.Cycles, res.IPC)
+		if mode == bench.Cohort {
+			fmt.Printf("  engine:     %+v\n", m.Engine)
+		} else {
+			fmt.Printf("  maple:      %+v\n", m.Maple)
+		}
+		fmt.Printf("  core mmio:  %+v\n", m.MMIO)
+		fmt.Printf("  directory:  %+v\n", m.Dir)
+		fmt.Printf("  network:    %+v\n", m.Net)
+		fmt.Printf("  core cache: %+v\n", m.CoreCache)
+		fmt.Printf("  dev cache:  %+v\n", m.DevCache)
+	}
+	fmt.Println()
 	return nil
 }
 

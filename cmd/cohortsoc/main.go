@@ -25,6 +25,7 @@ func main() {
 	blocks := flag.Int("blocks", 16, "number of 64-byte blocks to stream")
 	batch := flag.Int("batch", 64, "software batching factor")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	metrics := flag.Bool("metrics", false, "also dump cache, MMIO-port and per-engine detail counters")
 	flag.Parse()
 
 	s := soc.New(soc.DefaultConfig())
@@ -100,15 +101,25 @@ func main() {
 	fmt.Printf("  verification:      %v\n", map[bool]string{true: "all digests match software reference", false: "FAILED"}[ok])
 	fmt.Printf("  program window:    %d cycles, core IPC %.3f\n", cycles, ipc)
 	fmt.Printf("  simulated horizon: %d cycles\n", end)
-	for _, pair := range []struct {
+	type stat struct {
 		name string
 		st   any
-	}{
+	}
+	pairs := []stat{
 		{"aes engine", aesEng.Stats()},
 		{"sha engine", shaEng.Stats()},
 		{"directory", s.Coh.Stats()},
 		{"network", s.Net.Stats()},
-	} {
+	}
+	if *metrics {
+		pairs = append(pairs,
+			stat{"core mmio", s.Bus.Requester(0).Stats()},
+			stat{"core0 l1", s.Coh.Cache(0).Stats()},
+			stat{"aes l1.5", s.Coh.Cache(2).Stats()},
+			stat{"sha l1.5", s.Coh.Cache(3).Stats()},
+		)
+	}
+	for _, pair := range pairs {
 		fmt.Printf("  %-12s %+v\n", pair.name+":", pair.st)
 	}
 

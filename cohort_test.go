@@ -98,9 +98,9 @@ func TestSHA256EngineMatchesReference(t *testing.T) {
 			t.Fatalf("block %d digest mismatch", b)
 		}
 	}
-	ein, eout := e.Stats()
-	if ein != 64 || eout != 32 {
-		t.Fatalf("stats %d/%d, want 64/32", ein, eout)
+	st := e.StatsDetail()
+	if st.WordsIn != 64 || st.WordsOut != 32 {
+		t.Fatalf("stats %d/%d, want 64/32", st.WordsIn, st.WordsOut)
 	}
 }
 

@@ -2,10 +2,13 @@ package cohort
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cohort/internal/trace"
 )
 
 // Word is the endpoint interface width: accelerators consume and produce
@@ -49,11 +52,34 @@ type Engine struct {
 	boMin time.Duration
 	boMax time.Duration
 
+	// rec/trk are non-nil only when the engine was registered WithTrace;
+	// every trace call site checks trk so a disabled engine never reads the
+	// clock or formats anything.
+	rec *trace.Recorder
+	trk *trace.Track
+
 	elemsIn  atomic.Uint64
 	elemsOut atomic.Uint64
 	blocks   atomic.Uint64
 	wakeups  atomic.Uint64
+	sleeps   atomic.Uint64
+	errs     atomic.Uint64
+	errp     atomic.Pointer[error]
+
+	// histo is the drain→publish latency distribution, log2-bucketed in
+	// nanoseconds and sampled every histoSampleEvery-th wakeup so the clock
+	// reads stay off the common path.
+	histo [histoBuckets]atomic.Uint64
 }
+
+// histoSampleEvery must be a power of two; one in this many wakeups pays the
+// two time.Now() calls that feed the latency histogram. 128 keeps the clock
+// reads under ~1% of a batch=1 wakeup while still collecting thousands of
+// samples per second on a busy engine.
+const histoSampleEvery = 128
+
+// histoBuckets spans 1 ns to ~2 s in log2 buckets.
+const histoBuckets = 32
 
 // RegisterOption tunes a Register call.
 type RegisterOption func(*registerCfg)
@@ -63,6 +89,8 @@ type registerCfg struct {
 	batch int
 	boMin time.Duration
 	boMax time.Duration
+	rec   *trace.Recorder
+	track string
 }
 
 // WithCSR supplies the accelerator's configuration struct at registration
@@ -79,6 +107,18 @@ func WithCSR(csr []byte) RegisterOption {
 // so latency at low occupancy is unchanged.
 func WithBatch(blocks int) RegisterOption {
 	return func(c *registerCfg) { c.batch = blocks }
+}
+
+// WithTrace attaches the engine to a wall-clock trace recorder: the engine
+// emits poll/backoff idle spans, per-block compute and publish spans, and a
+// drain span per wakeup onto the named track. Without this option tracing is
+// a guaranteed no-op — no clock reads, no formatting, no allocation.
+func WithTrace(t *Trace, track string) RegisterOption {
+	return func(c *registerCfg) {
+		if t != nil {
+			c.rec, c.track = t.rec, track
+		}
+	}
 }
 
 // WithBackoff makes an idle engine sleep with exponentially growing pauses
@@ -122,6 +162,14 @@ func Register(acc Accelerator, in, out *Fifo[Word], opts ...RegisterOption) (*En
 		stop: make(chan struct{}), done: make(chan struct{}),
 		batch: cfg.batch, boMin: cfg.boMin, boMax: cfg.boMax,
 	}
+	if cfg.rec != nil {
+		track := cfg.track
+		if track == "" {
+			track = acc.Name()
+		}
+		e.rec = cfg.rec
+		e.trk = cfg.rec.Track(track) // one Sprintf-free lookup, at registration
+	}
 	go e.run()
 	return e, nil
 }
@@ -133,6 +181,7 @@ type backoff struct {
 	spins    int
 	cur      time.Duration
 	min, max time.Duration
+	sleeps   *atomic.Uint64 // counts actual timer sleeps; may be nil
 }
 
 // wait blocks once according to the policy; it returns false if stop closed
@@ -160,6 +209,9 @@ func (b *backoff) wait(stop <-chan struct{}) bool {
 	if b.cur > b.max {
 		b.cur = b.max
 	}
+	if b.sleeps != nil {
+		b.sleeps.Add(1)
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -184,8 +236,22 @@ func (e *Engine) run() {
 	defer close(e.done)
 	inW := e.acc.InWords()
 	buf := make([]Word, e.batch*inW)
+	bo := backoff{min: e.boMin, max: e.boMax, sleeps: &e.sleeps}
+	if e.trk != nil {
+		e.runTraced(buf, inW, &bo)
+		return
+	}
+	// The untraced loop below duplicates runTraced minus the span bookkeeping
+	// on purpose: this is the product hot path, and keeping even the
+	// always-false traced branches and their clock/idle state out of it is
+	// what makes disabled tracing genuinely zero-cost.
 	fill := 0
-	bo := backoff{min: e.boMin, max: e.boMax}
+	// Histogram sampling costs the steady-state loop a single register
+	// decrement and a predictable branch: the 1-in-histoSampleEvery timed
+	// wakeup takes the cold drainSampled path, so no clock state (and no
+	// time.Time zeroing) lives in this frame. Measured: per-wakeup sampling
+	// bookkeeping in this loop cost ~5% throughput at batch=1.
+	countdown := histoSampleEvery
 	for {
 		n := e.in.TryPopInto(buf[fill:])
 		fill += n
@@ -202,12 +268,22 @@ func (e *Engine) run() {
 		}
 		bo.reset()
 		e.wakeups.Add(1)
+		countdown--
+		if countdown == 0 {
+			countdown = histoSampleEvery
+			var ok bool
+			if fill, ok = e.drainSampled(buf, fill, inW); !ok {
+				return
+			}
+			continue
+		}
 		blocks := fill / inW
 		e.elemsIn.Add(uint64(blocks * inW))
 		for b := 0; b < blocks; b++ {
 			res, err := e.acc.Process(buf[b*inW : (b+1)*inW])
 			if err != nil {
-				panic(fmt.Sprintf("cohort: accelerator %s failed mid-stream: %v", e.acc.Name(), err))
+				e.fail(err)
+				return
 			}
 			if !e.pushSliceStoppable(e.out, res) {
 				return
@@ -218,6 +294,127 @@ func (e *Engine) run() {
 		copy(buf, buf[blocks*inW:fill])
 		fill -= blocks * inW
 	}
+}
+
+// drainSampled is one wakeup's drain with the histogram clock on: it times
+// finding-a-batch to last-publication and files the sample. Out of line so
+// the untraced steady-state loop carries no timing state. Returns the new
+// fill and false if the engine must park (error or stop).
+func (e *Engine) drainSampled(buf []Word, fill, inW int) (int, bool) {
+	start := time.Now()
+	blocks := fill / inW
+	e.elemsIn.Add(uint64(blocks * inW))
+	for b := 0; b < blocks; b++ {
+		res, err := e.acc.Process(buf[b*inW : (b+1)*inW])
+		if err != nil {
+			e.fail(err)
+			return fill, false
+		}
+		if !e.pushSliceStoppable(e.out, res) {
+			return fill, false
+		}
+		e.elemsOut.Add(uint64(len(res)))
+	}
+	e.blocks.Add(uint64(blocks))
+	e.recordDrain(start)
+	copy(buf, buf[blocks*inW:fill])
+	return fill - blocks*inW, true
+}
+
+// runTraced is run's loop with span emission: poll/backoff idle spans, a
+// drain span per wakeup, and compute/publish spans per block.
+func (e *Engine) runTraced(buf []Word, inW int, bo *backoff) {
+	fill := 0
+	countdown := histoSampleEvery
+	var idleStart uint64 // recorder clock; meaningful while idling
+	var idleSleeps uint64
+	idling := false
+	for {
+		drainStart := e.rec.Now()
+		n := e.in.TryPopInto(buf[fill:])
+		fill += n
+		if fill < inW {
+			if n > 0 {
+				bo.reset()
+				continue
+			}
+			if !idling {
+				idling = true
+				idleStart = drainStart
+				idleSleeps = e.sleeps.Load()
+			}
+			if !bo.wait(e.stop) {
+				return
+			}
+			continue
+		}
+		if idling {
+			// The idle stretch just ended: name it by how it was spent.
+			name := "poll"
+			if e.sleeps.Load() != idleSleeps {
+				name = "backoff"
+			}
+			e.trk.SpanAt(name, idleStart, drainStart-idleStart)
+			idling = false
+		}
+		e.trk.Span("drain", drainStart)
+		bo.reset()
+		e.wakeups.Add(1)
+		countdown--
+		sample := countdown == 0
+		var sampleStart time.Time
+		if sample {
+			countdown = histoSampleEvery
+			sampleStart = time.Now()
+		}
+		blocks := fill / inW
+		e.elemsIn.Add(uint64(blocks * inW))
+		for b := 0; b < blocks; b++ {
+			t0 := e.rec.Now()
+			res, err := e.acc.Process(buf[b*inW : (b+1)*inW])
+			if err != nil {
+				e.fail(err)
+				return
+			}
+			e.trk.Span("compute", t0)
+			t0 = e.rec.Now()
+			if !e.pushSliceStoppable(e.out, res) {
+				return
+			}
+			e.trk.Span("publish", t0)
+			e.elemsOut.Add(uint64(len(res)))
+		}
+		e.blocks.Add(uint64(blocks))
+		if sample {
+			e.recordDrain(sampleStart)
+		}
+		copy(buf, buf[blocks*inW:fill])
+		fill -= blocks * inW
+	}
+}
+
+// fail records a terminal accelerator error. A failing accelerator mid-stream
+// is terminal for the engine (the stream's block framing is gone) but must
+// not take the process down: record it and park, like a hardware engine
+// raising an error IRQ and halting its FSM. Out-of-line so the wrapped
+// error's allocation never lands in the run loops' frames.
+func (e *Engine) fail(err error) {
+	e.errs.Add(1)
+	werr := fmt.Errorf("cohort: accelerator %s failed mid-stream: %w", e.acc.Name(), err)
+	e.errp.Store(&werr)
+	if e.trk != nil {
+		e.trk.Instant("error")
+	}
+}
+
+// recordDrain files one sampled drain→publish latency into the histogram.
+func (e *Engine) recordDrain(start time.Time) {
+	ns := uint64(time.Since(start))
+	i := bits.Len64(ns)
+	if i >= histoBuckets {
+		i = histoBuckets - 1
+	}
+	e.histo[i].Add(1)
 }
 
 // pushSliceStoppable bulk-pushes ws into q, giving up if the engine is
@@ -249,8 +446,20 @@ func (e *Engine) Unregister() {
 
 // Stats reports elements consumed and produced, mirroring the hardware
 // engine's performance counters.
+//
+// Deprecated: Use StatsDetail, which snapshots every counter.
 func (e *Engine) Stats() (elemsIn, elemsOut uint64) {
 	return e.elemsIn.Load(), e.elemsOut.Load()
+}
+
+// Err returns the terminal error that stopped the engine, or nil while it is
+// healthy. A non-nil error means the accelerator failed mid-stream and the
+// engine has parked (its goroutine exited); Unregister still works.
+func (e *Engine) Err() error {
+	if p := e.errp.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // EngineStats is a snapshot of an engine's performance counters (the
@@ -258,19 +467,44 @@ func (e *Engine) Stats() (elemsIn, elemsOut uint64) {
 // is the achieved drain batch size — the direct observable for the §4.1
 // batching win.
 type EngineStats struct {
-	WordsIn  uint64 // words consumed from the input queue
-	WordsOut uint64 // words produced into the output queue
-	Blocks   uint64 // accelerator blocks processed
-	Wakeups  uint64 // drain iterations that found at least one block
+	WordsIn       uint64 // words consumed from the input queue
+	WordsOut      uint64 // words produced into the output queue
+	Blocks        uint64 // accelerator blocks processed
+	Wakeups       uint64 // drain iterations that found at least one block
+	BackoffSleeps uint64 // timer sleeps taken by the backoff unit
+	Errors        uint64 // accelerator Process failures (terminal; see Err)
+	// DrainNs is the sampled drain→publish latency distribution: the wall
+	// time from finding a block batch to its last output publication,
+	// measured on one in histoSampleEvery wakeups.
+	DrainNs LatencyHistogram
 }
 
 // StatsDetail snapshots all engine counters.
 func (e *Engine) StatsDetail() EngineStats {
-	return EngineStats{
-		WordsIn:  e.elemsIn.Load(),
-		WordsOut: e.elemsOut.Load(),
-		Blocks:   e.blocks.Load(),
-		Wakeups:  e.wakeups.Load(),
+	s := EngineStats{
+		WordsIn:       e.elemsIn.Load(),
+		WordsOut:      e.elemsOut.Load(),
+		Blocks:        e.blocks.Load(),
+		Wakeups:       e.wakeups.Load(),
+		BackoffSleeps: e.sleeps.Load(),
+		Errors:        e.errs.Load(),
+	}
+	for i := range e.histo {
+		s.DrainNs.Buckets[i] = e.histo[i].Load()
+	}
+	return s
+}
+
+// ResetStats zeroes every counter (the terminal error, if any, is kept).
+func (e *Engine) ResetStats() {
+	e.elemsIn.Store(0)
+	e.elemsOut.Store(0)
+	e.blocks.Store(0)
+	e.wakeups.Store(0)
+	e.sleeps.Store(0)
+	e.errs.Store(0)
+	for i := range e.histo {
+		e.histo[i].Store(0)
 	}
 }
 

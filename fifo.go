@@ -43,8 +43,46 @@ type Fifo[T any] struct {
 	_    [64]byte
 
 	cachedHead uint64 // producer's view of head
+	pushStalls uint64 // producer-owned: failed push attempts (queue full)
+	highWater  uint64 // producer-owned: max occupancy seen at publication
 	_          [64]byte
 	cachedTail uint64 // consumer's view of tail
+	popStalls  uint64 // consumer-owned: failed pop attempts (queue empty)
+}
+
+// FifoStats is a snapshot of a queue's counters. Pushes and Pops fall out of
+// the ring's cumulative indices, so the happy path costs nothing extra; the
+// stall counters and high-water mark live on the owning side's cache line and
+// are plain (unsynchronized) words. Stats is exact when both sides are
+// quiescent; under concurrency the values are monotone counters that may lag
+// by in-flight operations.
+type FifoStats struct {
+	Pushes     uint64 // elements ever pushed (the cumulative write index)
+	Pops       uint64 // elements ever popped (the cumulative read index)
+	PushStalls uint64 // push attempts that found the queue full
+	PopStalls  uint64 // pop attempts that found the queue empty
+	HighWater  uint64 // maximum occupancy observed at a write publication
+}
+
+// Stats snapshots the queue's counters. See FifoStats for the concurrency
+// contract.
+func (q *Fifo[T]) Stats() FifoStats {
+	return FifoStats{
+		Pushes:     q.tail.Load(),
+		Pops:       q.head.Load(),
+		PushStalls: q.pushStalls,
+		PopStalls:  q.popStalls,
+		HighWater:  q.highWater,
+	}
+}
+
+// noteOccupancy updates the producer-side high-water mark after a
+// publication. occ is the producer's occupancy view (an upper bound, since
+// its cached head may lag), clamped to capacity by the push guards.
+func (q *Fifo[T]) noteOccupancy(occ uint64) {
+	if occ > q.highWater {
+		q.highWater = occ
+	}
 }
 
 // NewFifo allocates a queue with capacity rounded up to a power of two
@@ -84,11 +122,13 @@ func (q *Fifo[T]) TryPush(v T) bool {
 	if t-q.cachedHead >= uint64(len(q.buf)) {
 		q.cachedHead = q.head.Load()
 		if t-q.cachedHead >= uint64(len(q.buf)) {
+			q.pushStalls++
 			return false
 		}
 	}
 	q.buf[t&q.mask] = v
 	q.tail.Store(t + 1) // release: publishes the data store above
+	q.noteOccupancy(t + 1 - q.cachedHead)
 	return true
 }
 
@@ -106,6 +146,7 @@ func (q *Fifo[T]) TryPop() (T, bool) {
 	if h >= q.cachedTail {
 		q.cachedTail = q.tail.Load()
 		if h >= q.cachedTail {
+			q.popStalls++
 			return zero, false
 		}
 	}
@@ -167,6 +208,7 @@ func (q *Fifo[T]) TryPushSlice(vs []T) int {
 		q.cachedHead = q.head.Load()
 		free = uint64(len(q.buf)) - (t - q.cachedHead)
 		if free == 0 {
+			q.pushStalls++
 			return 0
 		}
 	}
@@ -178,6 +220,7 @@ func (q *Fifo[T]) TryPushSlice(vs []T) int {
 	c := copy(q.buf[i:], vs[:n])
 	copy(q.buf, vs[c:n])        // wrap seam, if any
 	q.tail.Store(t + uint64(n)) // release: one publication for the run
+	q.noteOccupancy(t + uint64(n) - q.cachedHead)
 	return n
 }
 
@@ -205,6 +248,7 @@ func (q *Fifo[T]) TryPopInto(dst []T) int {
 		q.cachedTail = q.tail.Load()
 		avail = q.cachedTail - h
 		if avail == 0 {
+			q.popStalls++
 			return 0
 		}
 	}
@@ -250,6 +294,7 @@ func (q *Fifo[T]) WriteSegments() (a, b []T) {
 	q.cachedHead = q.head.Load()
 	free := uint64(len(q.buf)) - (t - q.cachedHead)
 	if free == 0 {
+		q.pushStalls++
 		return nil, nil
 	}
 	i := int(t & q.mask)
@@ -269,6 +314,7 @@ func (q *Fifo[T]) CommitWrite(n int) {
 		panic(fmt.Sprintf("cohort: CommitWrite(%d) exceeds free space", n))
 	}
 	q.tail.Store(t + uint64(n))
+	q.noteOccupancy(t + uint64(n) - q.cachedHead)
 }
 
 // ReadSegments returns the currently occupied region as up to two contiguous
@@ -280,6 +326,7 @@ func (q *Fifo[T]) ReadSegments() (a, b []T) {
 	q.cachedTail = q.tail.Load()
 	avail := q.cachedTail - h
 	if avail == 0 {
+		q.popStalls++
 		return nil, nil
 	}
 	i := int(h & q.mask)

@@ -10,10 +10,16 @@ import (
 	"fmt"
 
 	"cohort/internal/accel"
+	"cohort/internal/coherence"
 	"cohort/internal/cpu"
 	"cohort/internal/maple"
+	"cohort/internal/mmio"
+	"cohort/internal/noc"
 	"cohort/internal/osmodel"
 	"cohort/internal/soc"
+	"cohort/internal/trace"
+
+	ceng "cohort/internal/engine"
 )
 
 // Workload selects the accelerator under test.
@@ -100,6 +106,11 @@ type RunConfig struct {
 	QueueSize int // queue capacity AND total elements streamed (§5.3)
 	Batch     int // software batching factor (Cohort mode only)
 	Verify    bool
+	// Trace enables cycle-level tracing on the run's kernel; the resulting
+	// snapshot lands in Result.Trace. Tracing perturbs nothing the model
+	// measures (spans are recorded outside simulated time) but costs host
+	// memory, so it is off in sweeps.
+	Trace bool
 	// SoC overrides the hardware configuration (nil = soc.DefaultConfig()),
 	// for calibration studies and ablations.
 	SoC *soc.Config
@@ -112,12 +123,28 @@ type RunConfig struct {
 // IPC comparison (Figures 10/11) measures.
 const appWorkPerWord = 8
 
+// RunMetrics gathers the per-subsystem counters of one run, harvested after
+// the simulation drains. Engine is populated in Cohort mode, Maple in
+// MMIO/DMA modes; the rest are always filled.
+type RunMetrics struct {
+	Engine    ceng.Counters
+	Maple     maple.Counters
+	Dir       coherence.DirStats
+	Net       noc.Stats
+	MMIO      mmio.Stats // core-side requester (tile 0)
+	CoreCache coherence.CacheStats
+	DevCache  coherence.CacheStats
+}
+
 // Result is one measurement.
 type Result struct {
 	Cycles       uint64
 	Instructions uint64
 	IPC          float64
 	Verified     bool
+	Metrics      RunMetrics
+	// Trace is the run's trace snapshot when RunConfig.Trace was set.
+	Trace *trace.Snapshot
 }
 
 // KiloCycles returns latency in the units of Figures 8/9.
@@ -179,12 +206,15 @@ type rig struct {
 	pr   *osmodel.Process
 }
 
-func newRig(override *soc.Config) (*rig, error) {
-	cfg := soc.DefaultConfig()
-	if override != nil {
-		cfg = *override
+func newRig(cfg RunConfig) (*rig, error) {
+	scfg := soc.DefaultConfig()
+	if cfg.SoC != nil {
+		scfg = *cfg.SoC
 	}
-	s := soc.New(cfg)
+	s := soc.New(scfg)
+	if cfg.Trace {
+		s.K.EnableTracing()
+	}
 	core := s.AddCore(0)
 	s.AddCore(1) // second Ariane core, idle in these single-threaded benchmarks
 	os := osmodel.New(s)
@@ -194,6 +224,30 @@ func newRig(override *soc.Config) (*rig, error) {
 	}
 	pr.AttachCore(core)
 	return &rig{s: s, os: os, core: core, pr: pr}, nil
+}
+
+// finish harvests the per-subsystem counters — and, when tracing was on, the
+// run's trace snapshot — into res. Call after the simulation has drained.
+func (r *rig) finish(cfg RunConfig, res *Result) {
+	m := &res.Metrics
+	if len(r.s.Engines) > 0 {
+		m.Engine = r.s.Engines[0].Stats()
+	}
+	if len(r.s.Maples) > 0 {
+		m.Maple = r.s.Maples[0].Stats()
+	}
+	m.Dir = r.s.Coh.Stats()
+	m.Net = r.s.Net.Stats()
+	m.MMIO = r.s.Bus.Requester(0).Stats()
+	m.CoreCache = r.s.Coh.Cache(0).Stats()
+	if c := r.s.Coh.Cache(2); c != nil {
+		m.DevCache = c.Stats()
+	}
+	if cfg.Trace {
+		if snap, ok := r.s.K.TraceSnapshot(fmt.Sprintf("%v/%v q=%d", cfg.Workload, cfg.Mode, cfg.QueueSize)); ok {
+			res.Trace = &snap
+		}
+	}
 }
 
 // Run executes one benchmark point and returns the measurement.
@@ -212,7 +266,7 @@ func Run(cfg RunConfig) (Result, error) {
 // runCohort: initialise the SPSC queues, register, then push and pop in
 // batches until queue size is reached (§5.3).
 func runCohort(cfg RunConfig) (Result, error) {
-	r, err := newRig(cfg.SoC)
+	r, err := newRig(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -255,6 +309,7 @@ func runCohort(cfg RunConfig) (Result, error) {
 		res.IPC = ctx.IPC()
 	})
 	r.s.Run(0)
+	r.finish(cfg, &res)
 	if cfg.Verify {
 		res.Verified = verify(cfg.Workload, data, got)
 		if !res.Verified {
@@ -267,7 +322,7 @@ func runCohort(cfg RunConfig) (Result, error) {
 // runMMIO: word-by-word uncached transfers; the core must collect each
 // block's output before feeding the next block (§5.3).
 func runMMIO(cfg RunConfig) (Result, error) {
-	r, err := newRig(cfg.SoC)
+	r, err := newRig(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -295,6 +350,7 @@ func runMMIO(cfg RunConfig) (Result, error) {
 		res.IPC = ctx.IPC()
 	})
 	r.s.Run(0)
+	r.finish(cfg, &res)
 	if cfg.Verify {
 		res.Verified = verify(cfg.Workload, data, got)
 		if !res.Verified {
@@ -308,7 +364,7 @@ func runMMIO(cfg RunConfig) (Result, error) {
 // wait) is invoked for each data block copied to/from the unit (§5.3), with
 // transfers capped at the Table 2 granularity.
 func runDMA(cfg RunConfig) (Result, error) {
-	r, err := newRig(cfg.SoC)
+	r, err := newRig(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -382,6 +438,7 @@ func runDMA(cfg RunConfig) (Result, error) {
 		res.IPC = ctx.IPC()
 	})
 	r.s.Run(0)
+	r.finish(cfg, &res)
 	if cfg.Verify {
 		res.Verified = verify(cfg.Workload, data, got)
 		if !res.Verified {

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"io"
+
+	"cohort/internal/trace"
+)
+
+// CaptureTrace runs one benchmark point under each of the three communication
+// modes with cycle-level tracing enabled and returns the three snapshots, one
+// per mode. Each run uses a fresh SoC, so the snapshots are independent
+// processes in the merged Chrome trace: loading the result in Perfetto shows
+// the Cohort engine FSM, the MMIO word-by-word stalls and the MAPLE DMA
+// bursts side by side over the same subsystem tracks (NoC links, directory
+// banks, caches).
+func CaptureTrace(w Workload, queueSize, batch int) ([]trace.Snapshot, error) {
+	var snaps []trace.Snapshot
+	for _, mode := range []Mode{Cohort, MMIO, DMA} {
+		res, err := Run(RunConfig{
+			Workload:  w,
+			Mode:      mode,
+			QueueSize: queueSize,
+			Batch:     batch,
+			Verify:    true,
+			Trace:     true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Trace != nil {
+			snaps = append(snaps, *res.Trace)
+		}
+	}
+	return snaps, nil
+}
+
+// WriteTrace captures the three-mode trace and writes it as one
+// Perfetto-loadable Chrome trace JSON document.
+func WriteTrace(out io.Writer, w Workload, queueSize, batch int) error {
+	snaps, err := CaptureTrace(w, queueSize, batch)
+	if err != nil {
+		return err
+	}
+	return trace.WriteChrome(out, snaps...)
+}

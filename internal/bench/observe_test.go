@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCaptureTraceCoversSubsystems is the acceptance check for the unified
+// tracing layer: one capture must contain span events from the NoC, the
+// coherence directory, the Cohort engine, and the MMIO/MAPLE paths.
+func TestCaptureTraceCoversSubsystems(t *testing.T) {
+	snaps, err := CaptureTrace(SHA, 64, 8)
+	if err != nil {
+		t.Fatalf("CaptureTrace: %v", err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3 (one per mode)", len(snaps))
+	}
+	subsystems := map[string]bool{}
+	for _, s := range snaps {
+		for _, trk := range s.Tracks {
+			switch {
+			case strings.HasPrefix(trk.Name, "noc."):
+				subsystems["noc"] = true
+			case strings.HasPrefix(trk.Name, "dir"):
+				subsystems["coherence"] = true
+			case strings.HasPrefix(trk.Name, "cohort"):
+				subsystems["engine"] = true
+			case strings.HasPrefix(trk.Name, "maple"), strings.HasPrefix(trk.Name, "mmio."):
+				subsystems["mmio"] = true
+			}
+		}
+	}
+	for _, want := range []string{"noc", "coherence", "engine", "mmio"} {
+		if !subsystems[want] {
+			t.Errorf("trace has no tracks from subsystem %q", want)
+		}
+	}
+}
+
+// TestWriteTraceEmitsValidChromeJSON checks the merged document parses as a
+// Chrome trace: a JSON array of event objects with the required keys.
+func TestWriteTraceEmitsValidChromeJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, AES, 64, 4); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("trace is empty")
+	}
+	pids := map[float64]bool{}
+	phases := map[string]int{}
+	for _, e := range evs {
+		pids[e["pid"].(float64)] = true
+		phases[e["ph"].(string)]++
+	}
+	if len(pids) != 3 {
+		t.Errorf("got %d pids, want 3 (one per mode)", len(pids))
+	}
+	if phases["X"] == 0 {
+		t.Error("no complete-span (X) events in trace")
+	}
+	if phases["M"] == 0 {
+		t.Error("no metadata (M) events naming processes/tracks")
+	}
+}
+
+// TestRunMetricsHarvested checks every run fills the per-subsystem counters.
+func TestRunMetricsHarvested(t *testing.T) {
+	res, err := Run(RunConfig{Workload: SHA, Mode: Cohort, QueueSize: 64, Batch: 8, Verify: true})
+	if err != nil {
+		t.Fatalf("Run(Cohort): %v", err)
+	}
+	m := res.Metrics
+	if m.Engine.ElemsIn == 0 || m.Engine.ElemsOut == 0 {
+		t.Errorf("engine counters not harvested: %+v", m.Engine)
+	}
+	if m.Net.Msgs == 0 || m.Dir.GetS+m.Dir.GetM+m.Dir.GetOnce == 0 {
+		t.Errorf("fabric counters not harvested: net=%+v dir=%+v", m.Net, m.Dir)
+	}
+	if m.MMIO.Writes == 0 {
+		t.Errorf("core MMIO counters not harvested: %+v", m.MMIO)
+	}
+	if res.Trace != nil {
+		t.Error("Trace snapshot present without RunConfig.Trace")
+	}
+
+	res, err = Run(RunConfig{Workload: SHA, Mode: MMIO, QueueSize: 64, Verify: true})
+	if err != nil {
+		t.Fatalf("Run(MMIO): %v", err)
+	}
+	if res.Metrics.Maple.MMIOWordsIn == 0 {
+		t.Errorf("maple counters not harvested: %+v", res.Metrics.Maple)
+	}
+}

@@ -320,6 +320,7 @@ func (c *Cache) handle(msg noc.Msg) {
 		c.retryInstalls()
 	case respInv:
 		c.stats.InvsRecv++
+		c.sys.k.TraceInstant(c.name, "inv")
 		if w := c.lookup(r.line); w != nil {
 			w.valid = false
 		}
@@ -330,6 +331,7 @@ func (c *Cache) handle(msg noc.Msg) {
 			ack{line: r.line, src: c.tile})
 	case respFetch:
 		c.stats.FetchesRecv++
+		c.sys.k.TraceInstant(c.name, "fetch")
 		c.handleFetch(msg.Src, r)
 	case respPutAck:
 		m := c.mshrs[r.line]

@@ -5,6 +5,7 @@ import (
 
 	"cohort/internal/mem"
 	"cohort/internal/noc"
+	"cohort/internal/sim"
 )
 
 // dirState is a directory line's stable state.
@@ -27,6 +28,10 @@ type dirLine struct {
 	pending  *request // transaction waiting for FetchResp/InvAcks
 	waitAcks int
 	fetching int // tile a Fetch is outstanding to, -1 otherwise
+
+	// Trace bookkeeping for the in-service transaction (valid while busy).
+	trKind  reqKind
+	trStart sim.Time
 }
 
 // DirStats counts directory events.
@@ -44,10 +49,13 @@ type bank struct {
 	sys   *System
 	tile  int
 	lines map[mem.PAddr]*dirLine
+	track string // trace-track name, precomputed so tracing never formats
+	occ   int    // requests at this bank: queued + in service
 }
 
 func newBank(sys *System, tile int) *bank {
-	b := &bank{sys: sys, tile: tile, lines: make(map[mem.PAddr]*dirLine)}
+	b := &bank{sys: sys, tile: tile, lines: make(map[mem.PAddr]*dirLine),
+		track: fmt.Sprintf("dir%d", tile)}
 	sys.net.Attach(tile, noc.PortDir, b.handle)
 	return b
 }
@@ -66,6 +74,8 @@ func (b *bank) handle(msg noc.Msg) {
 	case request:
 		l := b.line(pl.line)
 		l.queue = append(l.queue, pl)
+		b.occ++
+		b.sys.k.TraceCounter(b.track, "occupancy", int64(b.occ))
 		if !l.busy {
 			b.next(pl.line, l)
 		}
@@ -77,8 +87,19 @@ func (b *bank) handle(msg noc.Msg) {
 }
 
 // next pops the line's request queue. The blocking-directory invariant: busy
-// stays true from pop to transaction completion.
+// stays true from pop to transaction completion — so next() entered with busy
+// set marks the completion of the in-service transaction.
 func (b *bank) next(addr mem.PAddr, l *dirLine) {
+	if l.busy {
+		b.occ--
+		if b.sys.k.TracingEnabled() {
+			// One span per coherence transaction, pop to completion: the
+			// invalidation round trips the paper's latency model counts show
+			// up as long GetM/PutOnce spans on the home bank's track.
+			b.sys.k.TraceSpan(b.track, l.trKind.String(), l.trStart)
+			b.sys.k.TraceCounter(b.track, "occupancy", int64(b.occ))
+		}
+	}
 	if len(l.queue) == 0 {
 		l.busy = false
 		return
@@ -86,6 +107,7 @@ func (b *bank) next(addr mem.PAddr, l *dirLine) {
 	l.busy = true
 	r := l.queue[0]
 	l.queue = l.queue[1:]
+	l.trKind, l.trStart = r.kind, b.sys.k.Now()
 	lat := b.sys.cfg.DirLatency
 	if !l.resident {
 		lat += b.sys.cfg.MemLatency

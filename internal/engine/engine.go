@@ -120,6 +120,13 @@ type Engine struct {
 
 	watch map[mem.PAddr]*watchpoint
 	stats Counters
+
+	// Trace-track names, precomputed at construction so call sites never
+	// format a string when tracing is disabled.
+	trkRCM  string
+	trkMMU  string
+	trkCons string
+	trkProd string
 }
 
 // New builds an engine and attaches its register bank to the MMIO bus.
@@ -140,6 +147,10 @@ func New(cfg Config) *Engine {
 		resolveSig: sim.NewSignal(cfg.Kernel),
 		watch:      make(map[mem.PAddr]*watchpoint),
 		mteFree:    sim.NewSignal(cfg.Kernel),
+		trkRCM:     fmt.Sprintf("cohort%d.rcm", cfg.Tile),
+		trkMMU:     fmt.Sprintf("cohort%d.mmu", cfg.Tile),
+		trkCons:    fmt.Sprintf("cohort%d.consumer", cfg.Tile),
+		trkProd:    fmt.Sprintf("cohort%d.producer", cfg.Tile),
 	}
 	e.mmu = mmu.New(cfg.TLBEntries, cfg.Cache.ReadOnceU64)
 	cfg.Cache.OnInvalidate(e.onInvalidate)
@@ -174,7 +185,7 @@ func (e *Engine) onInvalidate(line mem.PAddr) {
 	if wp, ok := e.watch[line]; ok {
 		wp.count++
 		e.stats.InvWakeups++
-		e.cfg.Kernel.TraceInstant(fmt.Sprintf("cohort%d.rcm", e.cfg.Tile), "inv-wakeup")
+		e.cfg.Kernel.TraceInstant(e.trkRCM, "inv-wakeup")
 		wp.sig.Fire()
 	}
 }
@@ -367,7 +378,7 @@ func (e *Engine) translate(p *sim.Proc, va uint64, write bool) mem.PAddr {
 		if write {
 			e.faultKind = FaultStore
 		}
-		e.cfg.Kernel.TraceInstant(fmt.Sprintf("cohort%d.mmu", e.cfg.Tile), "page-fault-irq")
+		e.cfg.Kernel.TraceInstant(e.trkMMU, "page-fault-irq")
 		e.cfg.Net.Send(e.cfg.Tile, e.cfg.IRQTile, noc.PortIRQ, 16,
 			IRQ{Engine: e, VA: va, Write: write})
 		e.resolveSig.Wait(p)
@@ -454,12 +465,22 @@ func (s *session) run(p *sim.Proc) {
 
 // waitUpdate parks until the value at `va` (re-read by reread) changes from
 // old: the RCM watches the line for an invalidation, then the backoff unit
-// delays the re-read to let the writer finish its burst (§4.2.3).
-func (s *session) waitUpdate(p *sim.Proc, wp *watchpoint, reread func() uint64, old uint64) (uint64, bool) {
+// delays the re-read to let the writer finish its burst (§4.2.3). The whole
+// stall is recorded as an "rcm-wait" span on the endpoint's track.
+func (s *session) waitUpdate(p *sim.Proc, track string, wp *watchpoint, reread func() uint64, old uint64) (uint64, bool) {
+	k := s.e.cfg.Kernel
+	traced := k.TracingEnabled()
+	var t0 sim.Time
+	if traced {
+		t0 = k.Now()
+	}
 	for s.alive() {
 		c0 := wp.count
 		v := reread()
 		if v != old {
+			if traced {
+				k.TraceSpan(track, "rcm-wait", t0)
+			}
 			return v, true
 		}
 		if wp.count == c0 {
@@ -486,6 +507,7 @@ func (s *session) consumer(p *sim.Proc) {
 		if pending > 0 {
 			e.mtePointerWrite(p, d.ReadIdx, r)
 			e.stats.PtrUpdates++
+			e.cfg.Kernel.TraceInstant(e.trkCons, "publish-rptr")
 			pending = 0
 		}
 	}
@@ -494,7 +516,7 @@ func (s *session) consumer(p *sim.Proc) {
 			// Input drained: let the producer reuse the slots, then sleep
 			// until the write pointer's line is invalidated.
 			publish()
-			w2, ok := s.waitUpdate(p, wp, func() uint64 { return e.mteRead(p, d.WriteIdx) }, w)
+			w2, ok := s.waitUpdate(p, e.trkCons, wp, func() uint64 { return e.mteRead(p, d.WriteIdx) }, w)
 			if !ok {
 				return
 			}
@@ -584,7 +606,7 @@ func (s *session) producer(p *sim.Proc) {
 		// invalidate this line).
 		rCached = e.mteRead(p, d.ReadIdx)
 		for d.FreeSlots(rCached, w) < uint64(len(buf)) { // not enough space
-			r2, ok := s.waitUpdate(p, wp, func() uint64 { return e.mteRead(p, d.ReadIdx) }, rCached)
+			r2, ok := s.waitUpdate(p, e.trkProd, wp, func() uint64 { return e.mteRead(p, d.ReadIdx) }, rCached)
 			if !ok {
 				return
 			}
@@ -595,6 +617,7 @@ func (s *session) producer(p *sim.Proc) {
 		e.stats.ElemsOut += uint64(len(buf))
 		e.mtePointerWrite(p, d.WriteIdx, w)
 		e.stats.PtrUpdates++
+		e.cfg.Kernel.TraceInstant(e.trkProd, "publish-wptr")
 	}
 }
 

@@ -96,6 +96,11 @@ type Unit struct {
 	csr   [64]uint64
 	stats Counters
 
+	// Trace-track names, precomputed at construction so tracing call sites
+	// never format strings on the hot path.
+	trkDMA  string
+	trkMMIO string
+
 	// Completion-flag support: after each DMA the unit coherently stores
 	// the cumulative kick count to flagVA (when nonzero), so software can
 	// spin on ordinary memory instead of stalling on MMIO.
@@ -122,6 +127,8 @@ func New(cfg Config) *Unit {
 		inStage: sim.NewQueue[uint64](k, 0),
 		dmaOut:  sim.NewQueue[uint64](k, 0),
 		dmaDone: sim.NewSignal(k),
+		trkDMA:  fmt.Sprintf("maple%d.dma", cfg.Tile),
+		trkMMIO: fmt.Sprintf("maple%d.mmio", cfg.Tile),
 	}
 	u.mmu = mmu.New(cfg.TLBEntries, cfg.Cache.ReadOnceU64)
 	cfg.Device.Start(k, u.accIn, u.accOut)
@@ -170,6 +177,7 @@ func (u *Unit) drainer(p *sim.Proc) {
 			reply := u.outWaiters[0]
 			u.outWaiters = u.outWaiters[1:]
 			u.stats.MMIOWordsOut++
+			u.cfg.Kernel.TraceInstant(u.trkMMIO, "word-out")
 			reply(v)
 			continue
 		}
@@ -194,6 +202,7 @@ func (u *Unit) regRead(off uint64, reply func(uint64)) {
 			v := u.outBuf[0]
 			u.outBuf = u.outBuf[1:]
 			u.stats.MMIOWordsOut++
+			u.cfg.Kernel.TraceInstant(u.trkMMIO, "word-out")
 			reply(v)
 			return
 		}
@@ -229,6 +238,7 @@ func (u *Unit) regWrite(off, val uint64) {
 		u.mmu.SetRoot(val)
 	case off == RegDataIn:
 		u.stats.MMIOWordsIn++
+		u.cfg.Kernel.TraceInstant(u.trkMMIO, "word-in")
 		if !u.inStage.TryPut(val) {
 			panic("maple: unbounded stage refused a word")
 		}
@@ -277,11 +287,12 @@ func (u *Unit) startDMA() {
 	u.dmaBusy = true
 	u.dmaActive = true
 	u.kickCount++
-	u.cfg.Kernel.TraceInstant(fmt.Sprintf("maple%d.dma", u.cfg.Tile), "kick")
+	u.cfg.Kernel.TraceInstant(u.trkDMA, "kick")
 	u.stats.DMAOps++
 	u.stats.DMABytes += u.dmaLen
 	src, dst := u.dmaSrc, u.dmaDst
 	k := u.cfg.Kernel
+	kickAt := k.Now()
 
 	k.Spawn(fmt.Sprintf("maple%d.dma-wr", u.cfg.Tile), func(p *sim.Proc) {
 		p.Wait(u.cfg.DMASetupDelay)
@@ -292,6 +303,9 @@ func (u *Unit) startDMA() {
 		if u.flagVA != 0 {
 			u.cfg.Cache.WriteU64(p, u.translate(p, u.flagVA, true), u.kickCount)
 		}
+		// The transfer span covers kick through the last coherent store; the
+		// descriptor burst shows as one block per DMA on the unit's track.
+		k.TraceSpan(u.trkDMA, "dma", kickAt)
 		u.dmaActive = false
 		u.dmaBusy = false
 		for _, reply := range u.kickWaiters {

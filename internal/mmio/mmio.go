@@ -121,6 +121,7 @@ type Requester struct {
 	nextID  uint64
 	pending map[uint64]*pendingOp
 	stats   Stats
+	track   string // trace-track name, precomputed at construction
 }
 
 type pendingOp struct {
@@ -143,7 +144,8 @@ func (b *Bus) Requester(tile int) *Requester {
 	if b.byTile[tile] {
 		panic(fmt.Sprintf("mmio: tile %d hosts a device; cannot also be a requester", tile))
 	}
-	r := &Requester{bus: b, tile: tile, pending: make(map[uint64]*pendingOp)}
+	r := &Requester{bus: b, tile: tile, pending: make(map[uint64]*pendingOp),
+		track: fmt.Sprintf("mmio.t%d", tile)}
 	b.reqs[tile] = r
 	b.net.Attach(tile, noc.PortDevice, func(msg noc.Msg) {
 		rs := msg.Payload.(resp)
@@ -170,14 +172,29 @@ func (r *Requester) do(p *sim.Proc, kind Kind, addr, val uint64) uint64 {
 	if d == nil {
 		panic(fmt.Sprintf("mmio: access to unmapped address %#x", addr))
 	}
+	k := r.bus.k
+	traced := k.TracingEnabled()
+	var t0 sim.Time
+	if traced {
+		t0 = k.Now()
+	}
 	r.nextID++
 	id := r.nextID
-	op := &pendingOp{done: sim.NewSignal(r.bus.k)}
+	op := &pendingOp{done: sim.NewSignal(k)}
 	r.pending[id] = op
 	r.bus.net.Send(r.tile, d.tile, noc.PortDevice, 16,
 		req{kind: kind, addr: addr, val: val, src: r.tile, id: id})
 	for !op.ok {
 		op.done.Wait(p)
+	}
+	if traced {
+		// One span per round trip: the paper's non-speculative stall (§2.1)
+		// is literally the span's width — polls show as back-to-back reads.
+		name := "read"
+		if kind == Write {
+			name = "write"
+		}
+		k.TraceSpan(r.track, name, t0)
 	}
 	return op.val
 }

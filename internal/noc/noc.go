@@ -62,6 +62,9 @@ type Stats struct {
 
 type link struct {
 	nextFree sim.Time
+	// track is the link's trace-track name, built on first traced hop so
+	// untraced simulations never format it.
+	track string
 }
 
 // Network is the mesh instance.
@@ -179,6 +182,14 @@ func (n *Network) hop(msg Msg, at int, ready sim.Time) {
 	l.nextFree = depart + occupancy
 	arrive := depart + occupancy - 1 + n.cfg.LinkDelay
 	n.stats.Hops++
+	if n.k.TracingEnabled() {
+		// One span per hop covering the link's occupancy: contended links
+		// show as back-to-back flit bursts on the link's track.
+		if l.track == "" {
+			l.track = fmt.Sprintf("noc.t%d.%s", at, [...]string{"E", "W", "N", "S"}[dir])
+		}
+		n.k.TraceSpanAt(l.track, fmt.Sprintf("t%d>t%d", msg.Src, msg.Dst), depart, occupancy)
+	}
 	n.k.At(arrive, func() {
 		if next == msg.Dst {
 			// Ejection at the destination router.

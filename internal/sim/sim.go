@@ -12,6 +12,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"cohort/internal/trace"
 )
 
 // Time is a simulation timestamp in cycles.
@@ -53,7 +55,7 @@ type Kernel struct {
 	procs   int // live processes
 	parked  int // processes parked on a condition (not a timer)
 	trap    any // panic value captured from a process, rethrown in Run
-	tr      *tracer
+	tr      *trace.Recorder
 }
 
 // New returns an empty kernel at time zero.

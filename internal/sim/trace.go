@@ -1,18 +1,25 @@
 package sim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"cohort/internal/trace"
 )
 
 // Tracing records what every simulated process was doing and when, plus
-// component-emitted instant events, and exports the timeline in the Chrome
-// trace-event format (load it at chrome://tracing or https://ui.perfetto.dev
-// to see cores, endpoints, accelerators and DMA engines laid out against the
-// cycle axis). Tracing is off by default and costs nothing until enabled.
+// component-emitted spans, instants and counters, and exports the timeline in
+// the Chrome trace-event format (load it at chrome://tracing or
+// https://ui.perfetto.dev to see cores, endpoints, accelerators, NoC links,
+// directory banks and DMA engines laid out against the cycle axis). The event
+// model lives in the shared internal/trace package — the same model the
+// native runtime records in wall-clock time — with the kernel's cycle counter
+// as the clock. Tracing is off by default and costs nothing until enabled:
+// components pass precomputed track-name strings (never formatting at the
+// call site) and every Trace* method returns immediately when disabled.
 
-// TraceEvent is one timeline entry. Dur == 0 marks an instant event.
+// TraceEvent is one flattened timeline entry, kept for tests and programmatic
+// consumers. Dur == 0 marks an instant or counter event.
 type TraceEvent struct {
 	Name  string
 	Cat   string
@@ -21,20 +28,19 @@ type TraceEvent struct {
 	TID   int
 }
 
-type tracer struct {
-	events []TraceEvent
-	tids   map[string]int
-}
-
-// EnableTracing starts recording process run-spans and instant events.
+// EnableTracing starts recording process run-spans and component events.
 func (k *Kernel) EnableTracing() {
 	if k.tr == nil {
-		k.tr = &tracer{tids: make(map[string]int)}
+		k.tr = trace.New(func() uint64 { return k.now })
 	}
 }
 
 // TracingEnabled reports whether tracing is on.
 func (k *Kernel) TracingEnabled() bool { return k.tr != nil }
+
+// Tracer exposes the underlying recorder (nil when tracing is off) for
+// components that cache *trace.Track handles.
+func (k *Kernel) Tracer() *trace.Recorder { return k.tr }
 
 // TraceInstant records a zero-duration marker on the named track (no-op when
 // tracing is off). Components use this for protocol-level moments: an RCM
@@ -43,45 +49,74 @@ func (k *Kernel) TraceInstant(track, name string) {
 	if k.tr == nil {
 		return
 	}
-	k.tr.add(TraceEvent{Name: name, Cat: "event", Start: k.now, TID: k.tr.tid(track)})
+	k.tr.Track(track).Instant(name)
 }
 
-// TraceEvents returns a copy of everything recorded so far.
+// TraceSpan records a duration from start (a cycle count previously read via
+// Now) to the current cycle on the named track. No-op when tracing is off.
+func (k *Kernel) TraceSpan(track, name string, start Time) {
+	if k.tr == nil {
+		return
+	}
+	k.tr.Track(track).Span(name, start)
+}
+
+// TraceSpanAt records a span with explicit bounds — for extents known up
+// front, possibly in the simulated future (e.g. a NoC link's occupancy).
+func (k *Kernel) TraceSpanAt(track, name string, start, dur Time) {
+	if k.tr == nil {
+		return
+	}
+	k.tr.Track(track).SpanAt(name, start, dur)
+}
+
+// TraceCounter samples a value on the named track (rendered as a staircase
+// counter by the viewer) — queue depths, directory occupancy.
+func (k *Kernel) TraceCounter(track, name string, v int64) {
+	if k.tr == nil {
+		return
+	}
+	k.tr.Track(track).Counter(name, v)
+}
+
+// TraceEvents returns a flattened copy of everything recorded so far.
 func (k *Kernel) TraceEvents() []TraceEvent {
 	if k.tr == nil {
 		return nil
 	}
-	return append([]TraceEvent(nil), k.tr.events...)
-}
-
-func (t *tracer) tid(name string) int {
-	id, ok := t.tids[name]
-	if !ok {
-		id = len(t.tids) + 1
-		t.tids[name] = id
+	var out []TraceEvent
+	for ti, tr := range k.tr.Snapshot("").Tracks {
+		for _, e := range tr.Events {
+			cat := "span"
+			switch e.Kind {
+			case trace.KindInstant:
+				cat = "event"
+			case trace.KindCounter:
+				cat = "counter"
+			}
+			out = append(out, TraceEvent{
+				Name: e.Name, Cat: cat, Start: e.Start, Dur: e.Dur, TID: ti + 1,
+			})
+		}
 	}
-	return id
+	return out
 }
 
-func (t *tracer) add(e TraceEvent) { t.events = append(t.events, e) }
+// TraceSnapshot copies the recorded timeline under a process label, for
+// merging several simulations into one trace file (trace.WriteChrome).
+func (k *Kernel) TraceSnapshot(process string) (trace.Snapshot, bool) {
+	if k.tr == nil {
+		return trace.Snapshot{}, false
+	}
+	return k.tr.Snapshot(process), true
+}
 
 // busy records a process's nonzero Wait as an occupancy span on its track.
 func (k *Kernel) busy(p *Proc, d Time) {
 	if k.tr == nil || d == 0 {
 		return
 	}
-	k.tr.add(TraceEvent{Name: p.name, Cat: "busy", Start: k.now, Dur: d, TID: k.tr.tid(p.name)})
-}
-
-// chromeEvent is the trace-event JSON wire format.
-type chromeEvent struct {
-	Name string `json:"name"`
-	Cat  string `json:"cat"`
-	Ph   string `json:"ph"`
-	Ts   uint64 `json:"ts"`
-	Dur  uint64 `json:"dur,omitempty"`
-	PID  int    `json:"pid"`
-	TID  int    `json:"tid"`
+	k.tr.Track(p.name).SpanAt(p.name, k.now, d)
 }
 
 // WriteChromeTrace serializes the recorded timeline as a Chrome trace-event
@@ -91,17 +126,5 @@ func (k *Kernel) WriteChromeTrace(w io.Writer) error {
 	if k.tr == nil {
 		return fmt.Errorf("sim: tracing was never enabled")
 	}
-	out := make([]chromeEvent, 0, len(k.tr.events))
-	for _, e := range k.tr.events {
-		ph := "X"
-		if e.Dur == 0 {
-			ph = "i"
-		}
-		out = append(out, chromeEvent{
-			Name: e.Name, Cat: e.Cat, Ph: ph,
-			Ts: e.Start, Dur: e.Dur, PID: 1, TID: e.TID,
-		})
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return trace.WriteChrome(w, k.tr.Snapshot("sim"))
 }

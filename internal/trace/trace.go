@@ -1,0 +1,239 @@
+// Package trace is the shared observability event model for both Cohort
+// runtimes: the cycle-level SoC simulator (timestamps are cycles) and the
+// native Go runtime (timestamps are wall-clock microseconds). A Recorder
+// collects named Tracks of span, instant and counter events in whatever time
+// domain its clock reports, and WriteChrome serializes one or more recorded
+// processes as a single Chrome trace-event JSON file, loadable at
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// The API is built so that disabled tracing is guaranteed free: a nil
+// *Recorder yields nil *Tracks, and every Track method is a no-op on a nil
+// receiver — no formatting, no allocation, no clock reads. Callers hold a
+// Track (or a precomputed track-name string) unconditionally and emit events
+// without guarding call sites.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind distinguishes timeline entry types.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindSpan    Kind = iota // a duration on the track's timeline
+	KindInstant             // a zero-duration marker
+	KindCounter             // a sampled value, rendered as a counter track
+)
+
+// Event is one timeline entry on a track. Timestamps are in the recorder's
+// time domain (cycles or microseconds).
+type Event struct {
+	Name  string
+	Kind  Kind
+	Start uint64
+	Dur   uint64 // spans only
+	Value int64  // counters only
+}
+
+// Recorder collects tracks of events stamped by a caller-supplied clock.
+// A nil *Recorder is the disabled state: Track returns nil and Now returns 0.
+type Recorder struct {
+	now func() uint64
+
+	mu     sync.Mutex
+	tracks map[string]*Track
+	order  []*Track
+}
+
+// New returns a recorder whose events are stamped by now. The clock's unit is
+// the caller's choice (the simulator passes cycles); WriteChrome presents one
+// unit as one microsecond on the viewer's axis.
+func New(now func() uint64) *Recorder {
+	return &Recorder{now: now, tracks: make(map[string]*Track)}
+}
+
+// NewWall returns a recorder stamping events with wall-clock microseconds
+// since its creation — the native runtime's time domain.
+func NewWall() *Recorder {
+	start := time.Now()
+	return New(func() uint64 { return uint64(time.Since(start) / time.Microsecond) })
+}
+
+// Enabled reports whether the recorder records (i.e. is non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Now returns the current timestamp, or 0 when disabled.
+func (r *Recorder) Now() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// Track returns the named track, creating it on first use; repeated calls
+// with the same name return the same track. Returns nil on a nil recorder —
+// every Track method no-ops on nil, so callers hold tracks unconditionally.
+// Safe for concurrent use.
+func (r *Recorder) Track(name string) *Track {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.tracks[name]
+	if t == nil {
+		t = &Track{r: r, name: name}
+		r.tracks[name] = t
+		r.order = append(r.order, t)
+	}
+	return t
+}
+
+// Track is one named timeline. Each track must have a single writer at a time
+// (per-component tracks satisfy this by construction); distinct tracks may be
+// written concurrently. All methods are no-ops on a nil receiver.
+type Track struct {
+	r      *Recorder
+	name   string
+	events []Event
+}
+
+// Name returns the track's name ("" for nil).
+func (t *Track) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Instant records a zero-duration marker at the current time.
+func (t *Track) Instant(name string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{Name: name, Kind: KindInstant, Start: t.r.now()})
+}
+
+// Span records a duration from start (a value previously obtained from
+// Recorder.Now) to the current time.
+func (t *Track) Span(name string, start uint64) {
+	if t == nil {
+		return
+	}
+	now := t.r.now()
+	if now < start {
+		now = start
+	}
+	t.events = append(t.events, Event{Name: name, Kind: KindSpan, Start: start, Dur: now - start})
+}
+
+// SpanAt records a duration with explicit bounds — used when the span's
+// extent is known up front (e.g. a NoC link occupied for a computed number of
+// cycles, possibly in the simulated future).
+func (t *Track) SpanAt(name string, start, dur uint64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{Name: name, Kind: KindSpan, Start: start, Dur: dur})
+}
+
+// Counter records a sampled value at the current time; the viewer renders
+// successive samples with the same name as a staircase counter track.
+func (t *Track) Counter(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{Name: name, Kind: KindCounter, Start: t.r.now(), Value: v})
+}
+
+// TrackSnapshot is one track's recorded events.
+type TrackSnapshot struct {
+	Name   string
+	Events []Event
+}
+
+// Snapshot is one process's recorded timeline: what one Recorder collected,
+// labelled for merging with other processes in a single trace file.
+type Snapshot struct {
+	Process string
+	Tracks  []TrackSnapshot
+}
+
+// Snapshot copies everything recorded so far under the given process label.
+// Take it only after all track writers have quiesced (tracks are written
+// without the recorder's lock). A nil recorder yields an empty snapshot.
+func (r *Recorder) Snapshot(process string) Snapshot {
+	s := Snapshot{Process: process}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.order {
+		s.Tracks = append(s.Tracks, TrackSnapshot{
+			Name:   t.name,
+			Events: append([]Event(nil), t.events...),
+		})
+	}
+	return s
+}
+
+// chromeEvent is the trace-event JSON wire format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome serializes one or more process snapshots as a single Chrome
+// trace-event JSON array: each snapshot becomes a pid, each track a named
+// tid. One recorder time unit is written as one microsecond on the viewer's
+// axis (cycle-domain recorders thus show 1 cycle = 1 µs). Process and thread
+// name metadata is appended after the data events.
+func WriteChrome(w io.Writer, procs ...Snapshot) error {
+	var out []chromeEvent
+	var meta []chromeEvent
+	for pi, p := range procs {
+		pid := pi + 1
+		if p.Process != "" {
+			meta = append(meta, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": p.Process},
+			})
+		}
+		for ti, tr := range p.Tracks {
+			tid := ti + 1
+			meta = append(meta, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": tr.Name},
+			})
+			for _, e := range tr.Events {
+				ce := chromeEvent{Name: e.Name, Ts: e.Start, PID: pid, TID: tid}
+				switch e.Kind {
+				case KindSpan:
+					ce.Ph = "X"
+					ce.Dur = e.Dur
+				case KindInstant:
+					ce.Ph = "i"
+					ce.S = "t"
+				case KindCounter:
+					ce.Ph = "C"
+					ce.Args = map[string]any{"value": e.Value}
+				}
+				out = append(out, ce)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(append(out, meta...))
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// fakeClock returns a clock function backed by a settable cursor.
+func fakeClock() (func() uint64, *uint64) {
+	t := new(uint64)
+	return func() uint64 { return *t }, t
+}
+
+func TestSpanInstantCounter(t *testing.T) {
+	clk, cur := fakeClock()
+	r := New(clk)
+	trk := r.Track("engine")
+
+	*cur = 10
+	start := r.Now()
+	*cur = 25
+	trk.Span("drain", start)
+	trk.Instant("publish")
+	trk.Counter("occupancy", 7)
+	trk.SpanAt("link", 100, 4)
+
+	s := r.Snapshot("p")
+	if len(s.Tracks) != 1 || s.Tracks[0].Name != "engine" {
+		t.Fatalf("tracks = %+v", s.Tracks)
+	}
+	evs := s.Tracks[0].Events
+	if len(evs) != 4 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0] != (Event{Name: "drain", Kind: KindSpan, Start: 10, Dur: 15}) {
+		t.Errorf("span = %+v", evs[0])
+	}
+	if evs[1].Kind != KindInstant || evs[1].Start != 25 {
+		t.Errorf("instant = %+v", evs[1])
+	}
+	if evs[2].Kind != KindCounter || evs[2].Value != 7 {
+		t.Errorf("counter = %+v", evs[2])
+	}
+	if evs[3] != (Event{Name: "link", Kind: KindSpan, Start: 100, Dur: 4}) {
+		t.Errorf("spanAt = %+v", evs[3])
+	}
+}
+
+func TestTrackIdentityAndReuse(t *testing.T) {
+	clk, _ := fakeClock()
+	r := New(clk)
+	a := r.Track("x")
+	b := r.Track("x")
+	if a != b {
+		t.Fatal("same name produced distinct tracks")
+	}
+	r.Track("y")
+	s := r.Snapshot("")
+	if len(s.Tracks) != 2 || s.Tracks[0].Name != "x" || s.Tracks[1].Name != "y" {
+		t.Fatalf("track order = %+v", s.Tracks)
+	}
+}
+
+func TestNilRecorderIsFree(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder enabled")
+	}
+	if r.Now() != 0 {
+		t.Fatal("nil Now != 0")
+	}
+	trk := r.Track("anything")
+	if trk != nil {
+		t.Fatal("nil recorder returned a track")
+	}
+	// All of these must be harmless no-ops.
+	trk.Instant("i")
+	trk.Span("s", 5)
+	trk.SpanAt("sa", 1, 2)
+	trk.Counter("c", 3)
+	if trk.Name() != "" {
+		t.Fatal("nil track has a name")
+	}
+	if s := r.Snapshot("p"); len(s.Tracks) != 0 || s.Process != "p" {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+func TestSpanClampsBackwardClock(t *testing.T) {
+	clk, cur := fakeClock()
+	r := New(clk)
+	trk := r.Track("t")
+	*cur = 50
+	start := r.Now()
+	*cur = 40 // clock moved backward (cannot happen in the sim; defensive)
+	trk.Span("s", start)
+	if e := r.Snapshot("").Tracks[0].Events[0]; e.Dur != 0 {
+		t.Fatalf("negative-duration span leaked: %+v", e)
+	}
+}
+
+func TestWriteChromeMultiProcess(t *testing.T) {
+	clk, cur := fakeClock()
+	r1 := New(clk)
+	r1.Track("noc").SpanAt("hop", 0, 3)
+	*cur = 5
+	r1.Track("dir").Instant("GetS")
+	r1.Track("dir").Counter("queued", 2)
+
+	r2 := New(clk)
+	r2.Track("maple").SpanAt("dma", 1, 9)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r1.Snapshot("cohort run"), r2.Snapshot("dma run")); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+
+	pids := map[float64]bool{}
+	phases := map[string]int{}
+	var procNames, threadNames []string
+	for _, e := range evs {
+		pids[e["pid"].(float64)] = true
+		ph := e["ph"].(string)
+		phases[ph]++
+		if ph == "M" {
+			name := e["args"].(map[string]any)["name"].(string)
+			if e["name"] == "process_name" {
+				procNames = append(procNames, name)
+			} else {
+				threadNames = append(threadNames, name)
+			}
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("pids = %v, want 2 processes", pids)
+	}
+	if phases["X"] != 2 || phases["i"] != 1 || phases["C"] != 1 {
+		t.Fatalf("phases = %v", phases)
+	}
+	if len(procNames) != 2 || procNames[0] != "cohort run" || procNames[1] != "dma run" {
+		t.Fatalf("process names = %v", procNames)
+	}
+	if len(threadNames) != 3 {
+		t.Fatalf("thread names = %v", threadNames)
+	}
+	// Data events come first so minimal consumers see a data phase at [0].
+	if ph := evs[0]["ph"]; ph != "X" && ph != "i" && ph != "C" {
+		t.Fatalf("first event phase = %v", ph)
+	}
+}
+
+func TestNewWallMonotonic(t *testing.T) {
+	r := NewWall()
+	a := r.Now()
+	b := r.Now()
+	if b < a {
+		t.Fatalf("wall clock went backward: %d -> %d", a, b)
+	}
+}

@@ -26,6 +26,7 @@ type Writer struct {
 	nstage int
 	batch  []Word
 	closed bool
+	bytes  uint64
 }
 
 // NewWriter wraps q.
@@ -66,8 +67,13 @@ func (w *Writer) Write(p []byte) (int, error) {
 	if len(p) > 0 {
 		w.nstage = copy(w.stage[:], p)
 	}
+	w.bytes += uint64(n)
 	return n, nil
 }
+
+// BytesWritten returns the total bytes accepted by Write. Owner-side only
+// (same goroutine discipline as Write).
+func (w *Writer) BytesWritten() uint64 { return w.bytes }
 
 // Close flushes a zero-padded partial word. Idempotent.
 func (w *Writer) Close() error {
@@ -100,7 +106,12 @@ type Reader struct {
 	stage  [8]byte
 	nstage int // unread bytes remaining in stage (consumed from the front)
 	batch  []Word
+	bytes  uint64
 }
+
+// BytesRead returns the total bytes delivered by Read. Owner-side only (same
+// goroutine discipline as Read).
+func (r *Reader) BytesRead() uint64 { return r.bytes }
 
 // NewReader wraps q.
 func NewReader(q *Fifo[Word]) *Reader { return &Reader{q: q} }
@@ -114,6 +125,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 	if r.nstage > 0 {
 		n := copy(p, r.stage[8-r.nstage:])
 		r.nstage -= n
+		r.bytes += uint64(n)
 		return n, nil
 	}
 	// Bulk path: pop as many whole words as fit directly into p.
@@ -130,12 +142,14 @@ func (r *Reader) Read(p []byte) (int, error) {
 		for i := 0; i < n; i++ {
 			binary.LittleEndian.PutUint64(p[8*i:], r.batch[i])
 		}
+		r.bytes += uint64(8 * n)
 		return 8 * n, nil
 	}
 	binary.LittleEndian.PutUint64(r.stage[:], r.q.Pop())
 	r.nstage = 8
 	n := copy(p, r.stage[:])
 	r.nstage -= n
+	r.bytes += uint64(n)
 	return n, nil
 }
 

@@ -1,0 +1,231 @@
+package cohort
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"cohort/internal/trace"
+)
+
+// This file is the native runtime's observability surface: a pull-based
+// metrics registry over the runtime's allocation-free counters, a log2
+// latency-histogram snapshot type, and a wall-clock trace recorder that
+// writes the same Chrome trace-event JSON as the simulator — so a native run
+// and a simulated run open side by side in Perfetto.
+
+// Metric is one named counter sample.
+type Metric struct {
+	Name  string
+	Value uint64
+}
+
+// SourceSnapshot is one registered source's counters at snapshot time.
+type SourceSnapshot struct {
+	Name    string
+	Metrics []Metric
+}
+
+// Registry collects metric sources (queues, engines, adapters) and snapshots
+// them on demand. Sources are polled only inside Snapshot/String, so
+// registration adds zero cost to the instrumented hot paths. Safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	sources map[string]func() []Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: make(map[string]func() []Metric)}
+}
+
+// Register adds (or replaces) a named metric source. fn is called during
+// Snapshot and must be safe to call at any time; for Fifo-backed sources the
+// values are exact only when the queue's two sides are quiescent.
+func (r *Registry) Register(name string, fn func() []Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sources[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.sources[name] = fn
+}
+
+// Unregister removes a source; unknown names are ignored.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sources[name]; !ok {
+		return
+	}
+	delete(r.sources, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Snapshot polls every source in registration order.
+func (r *Registry) Snapshot() []SourceSnapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fns := make([]func() []Metric, len(names))
+	for i, n := range names {
+		fns[i] = r.sources[n]
+	}
+	r.mu.Unlock()
+	// Poll outside the lock: a source callback may itself take locks.
+	out := make([]SourceSnapshot, len(names))
+	for i, n := range names {
+		out[i] = SourceSnapshot{Name: n, Metrics: fns[i]()}
+	}
+	return out
+}
+
+// String renders the snapshot as an aligned two-column table, one section per
+// source.
+func (r *Registry) String() string {
+	var b strings.Builder
+	for _, s := range r.Snapshot() {
+		fmt.Fprintf(&b, "%s:\n", s.Name)
+		width := 0
+		for _, m := range s.Metrics {
+			if len(m.Name) > width {
+				width = len(m.Name)
+			}
+		}
+		for _, m := range s.Metrics {
+			fmt.Fprintf(&b, "  %-*s %d\n", width, m.Name, m.Value)
+		}
+	}
+	return b.String()
+}
+
+// RegisterFifo exposes a queue's FifoStats under the given source name.
+// (A package function rather than a Registry method: methods cannot add type
+// parameters.)
+func RegisterFifo[T any](r *Registry, name string, q *Fifo[T]) {
+	r.Register(name, func() []Metric {
+		s := q.Stats()
+		return []Metric{
+			{"pushes", s.Pushes},
+			{"pops", s.Pops},
+			{"push_stalls", s.PushStalls},
+			{"pop_stalls", s.PopStalls},
+			{"high_water", s.HighWater},
+		}
+	})
+}
+
+// RegisterMpmc exposes a shared queue's MpmcStats under the given source name.
+func RegisterMpmc[T any](r *Registry, name string, q *Mpmc[T]) {
+	r.Register(name, func() []Metric {
+		s := q.Stats()
+		return []Metric{
+			{"pushes", s.Pushes},
+			{"pops", s.Pops},
+		}
+	})
+}
+
+// RegisterEngine exposes an engine's EngineStats under the given source name.
+func RegisterEngine(r *Registry, name string, e *Engine) {
+	r.Register(name, func() []Metric {
+		s := e.StatsDetail()
+		ms := []Metric{
+			{"words_in", s.WordsIn},
+			{"words_out", s.WordsOut},
+			{"blocks", s.Blocks},
+			{"wakeups", s.Wakeups},
+			{"backoff_sleeps", s.BackoffSleeps},
+			{"errors", s.Errors},
+		}
+		for i, c := range s.DrainNs.Buckets {
+			if c != 0 {
+				ms = append(ms, Metric{fmt.Sprintf("drain_ns_le_%d", uint64(1)<<i), c})
+			}
+		}
+		return ms
+	})
+}
+
+// LatencyHistogram is a log2-bucketed latency distribution in nanoseconds:
+// Buckets[i] counts samples whose value has bit length i, i.e. lies in
+// [2^(i-1), 2^i) ns (bucket 0 counts zero-duration samples).
+type LatencyHistogram struct {
+	Buckets [histoBuckets]uint64
+}
+
+// Samples returns the total number of recorded samples.
+func (h LatencyHistogram) Samples() uint64 {
+	var n uint64
+	for _, c := range h.Buckets {
+		n += c
+	}
+	return n
+}
+
+// String renders the nonzero buckets, one "<upper-bound>ns: count" pair per
+// line, in ascending latency order.
+func (h LatencyHistogram) String() string {
+	var b strings.Builder
+	for i, c := range h.Buckets {
+		if c != 0 {
+			fmt.Fprintf(&b, "<%dns: %d\n", uint64(1)<<i, c)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no samples)\n"
+	}
+	return b.String()
+}
+
+// Trace is a wall-clock trace recorder for the native runtime. Attach
+// engines with WithTrace at registration; their poll/drain/compute/publish/
+// backoff activity lands on per-engine tracks, timestamped in microseconds
+// since the recorder was created. Write the result with WriteChrome and open
+// it at https://ui.perfetto.dev. Safe for concurrent use by any number of
+// engines.
+type Trace struct {
+	rec *trace.Recorder
+}
+
+// NewTrace creates a recorder whose clock starts now.
+func NewTrace() *Trace { return &Trace{rec: trace.NewWall()} }
+
+// Track returns a named track for application-side annotations (instants and
+// spans around Push/Pop calls, for example). Tracks are created on first use
+// and are safe for use by one goroutine at a time.
+func (t *Trace) Track(name string) *TraceTrack {
+	return &TraceTrack{trk: t.rec.Track(name), rec: t.rec}
+}
+
+// WriteChrome writes everything recorded so far as Chrome trace-event JSON
+// under the given process name. Call after the traced engines have quiesced
+// (Unregister), or accept that in-flight spans may be missing.
+func (t *Trace) WriteChrome(w io.Writer, process string) error {
+	return trace.WriteChrome(w, t.rec.Snapshot(process))
+}
+
+// TraceTrack is an application-facing track handle.
+type TraceTrack struct {
+	trk *trace.Track
+	rec *trace.Recorder
+}
+
+// Instant marks a point event now.
+func (t *TraceTrack) Instant(name string) { t.trk.Instant(name) }
+
+// Begin starts a span; pass the returned start time to End.
+func (t *TraceTrack) Begin() uint64 { return t.rec.Now() }
+
+// End completes a span opened with Begin.
+func (t *TraceTrack) End(name string, start uint64) { t.trk.Span(name, start) }
+
+// Counter records a named value sample (rendered as a counter track).
+func (t *TraceTrack) Counter(name string, v int64) { t.trk.Counter(name, v) }

@@ -204,6 +204,19 @@ func (q *Mpmc[T]) PopBlock(dst []T) {
 	}
 }
 
+// MpmcStats is a snapshot of a shared queue's counters, derived entirely
+// from the cumulative enqueue/dequeue indices — the snapshot itself costs two
+// atomic loads and is safe from any goroutine.
+type MpmcStats struct {
+	Pushes uint64 // elements ever reserved by producers
+	Pops   uint64 // elements ever claimed by consumers
+}
+
+// Stats snapshots the queue's counters.
+func (q *Mpmc[T]) Stats() MpmcStats {
+	return MpmcStats{Pushes: q.enq.Load(), Pops: q.deq.Load()}
+}
+
 // Len approximates the number of queued elements, clamped to [0, Cap()].
 func (q *Mpmc[T]) Len() int {
 	d := int64(q.enq.Load() - q.deq.Load())
