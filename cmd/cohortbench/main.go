@@ -34,12 +34,21 @@ func main() {
 		"write a Chrome trace-event JSON timeline (one benchmark point per mode) to this file")
 	metrics := flag.Bool("metrics", false,
 		"print the per-subsystem counter snapshot for one benchmark point per mode")
+	serveAddr := flag.String("serve", "",
+		"serve /metrics, /trace and /debug/pprof on this address (e.g. :9120) during and after the run")
 	flag.Parse()
 	csvOut = *csvDir
 
 	p := bench.DefaultParams()
 	if *maxQueue < p.MaxQueue {
 		p.MaxQueue = *maxQueue
+	}
+	var waitServe func()
+	if *serveAddr != "" {
+		var err error
+		if waitServe, err = startServe(*serveAddr, *experiment, p); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
 	}
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, *experiment, p); err != nil {
@@ -79,6 +88,9 @@ func main() {
 		log.Printf("unknown experiment %q", *experiment)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if waitServe != nil {
+		waitServe()
 	}
 }
 

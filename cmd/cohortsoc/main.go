@@ -11,10 +11,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"cohort"
 	"cohort/internal/accel"
 	"cohort/internal/bench"
 	"cohort/internal/cpu"
+	"cohort/internal/obsrv"
 	"cohort/internal/osmodel"
 	"cohort/internal/soc"
 )
@@ -26,10 +30,12 @@ func main() {
 	batch := flag.Int("batch", 64, "software batching factor")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	metrics := flag.Bool("metrics", false, "also dump cache, MMIO-port and per-engine detail counters")
+	serveAddr := flag.String("serve", "",
+		"after the run, serve /metrics, /trace and /debug/pprof on this address (e.g. :9121) until interrupted")
 	flag.Parse()
 
 	s := soc.New(soc.DefaultConfig())
-	if *tracePath != "" {
+	if *tracePath != "" || *serveAddr != "" {
 		s.K.EnableTracing()
 	}
 	core := s.AddCore(0)
@@ -141,5 +147,37 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace written to %s (open at https://ui.perfetto.dev)\n", *tracePath)
+	}
+
+	if *serveAddr != "" {
+		// The simulation has drained, so the registry serves the run's
+		// final counters; /trace streams the recorded kernel timeline and
+		// /debug/pprof profiles this (still-live) process.
+		reg := cohort.NewRegistry()
+		for _, src := range []struct {
+			name string
+			st   any
+		}{
+			{"aes-engine", aesEng.Stats()},
+			{"sha-engine", shaEng.Stats()},
+			{"directory", s.Coh.Stats()},
+			{"network", s.Net.Stats()},
+			{"core-mmio", s.Bus.Requester(0).Stats()},
+		} {
+			ms := cohort.FieldMetrics(src.st)
+			reg.Register(src.name, func() []cohort.Metric { return ms })
+		}
+		srv := obsrv.New(obsrv.Options{
+			MetricsText: reg.WritePrometheus,
+			TraceJSON:   s.K.WriteChromeTrace,
+		})
+		if err := srv.Serve(*serveAddr); err != nil {
+			log.Fatal(err)
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		fmt.Printf("\nobservability plane on http://%s (/metrics /trace /debug/pprof) until interrupted (Ctrl-C)\n", srv.Addr())
+		<-sig
+		srv.Close()
 	}
 }

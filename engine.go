@@ -52,11 +52,13 @@ type Engine struct {
 	boMin time.Duration
 	boMax time.Duration
 
-	// rec/trk are non-nil only when the engine was registered WithTrace;
-	// every trace call site checks trk so a disabled engine never reads the
-	// clock or formats anything.
-	rec *trace.Recorder
-	trk *trace.Track
+	// trk/now are non-nil only when the engine was registered WithTrace or
+	// WithFlightRecorder; every trace call site checks trk so a disabled
+	// engine never reads the clock or formats anything. flight is set in the
+	// flight-recorder case so a terminal error can trigger the auto-dump.
+	trk    eventSink
+	now    func() uint64
+	flight *FlightRecorder
 
 	elemsIn  atomic.Uint64
 	elemsOut atomic.Uint64
@@ -85,12 +87,13 @@ const histoBuckets = 32
 type RegisterOption func(*registerCfg)
 
 type registerCfg struct {
-	csr   []byte
-	batch int
-	boMin time.Duration
-	boMax time.Duration
-	rec   *trace.Recorder
-	track string
+	csr    []byte
+	batch  int
+	boMin  time.Duration
+	boMax  time.Duration
+	rec    *trace.Recorder
+	flight *FlightRecorder
+	track  string
 }
 
 // WithCSR supplies the accelerator's configuration struct at registration
@@ -117,6 +120,20 @@ func WithTrace(t *Trace, track string) RegisterOption {
 	return func(c *registerCfg) {
 		if t != nil {
 			c.rec, c.track = t.rec, track
+		}
+	}
+}
+
+// WithFlightRecorder attaches the engine to an always-on, fixed-memory
+// flight recorder: the engine emits the same spans as WithTrace, but into a
+// bounded ring that keeps only the most recent events, and the ring is
+// auto-dumped (FlightRecorder.AutoDump) if the engine parks with a terminal
+// accelerator error. Mutually exclusive with WithTrace — an engine has one
+// span destination.
+func WithFlightRecorder(f *FlightRecorder, track string) RegisterOption {
+	return func(c *registerCfg) {
+		if f != nil {
+			c.flight, c.track = f, track
 		}
 	}
 }
@@ -162,13 +179,21 @@ func Register(acc Accelerator, in, out *Fifo[Word], opts ...RegisterOption) (*En
 		stop: make(chan struct{}), done: make(chan struct{}),
 		batch: cfg.batch, boMin: cfg.boMin, boMax: cfg.boMax,
 	}
-	if cfg.rec != nil {
+	if cfg.rec != nil && cfg.flight != nil {
+		return nil, fmt.Errorf("cohort: register %s: WithTrace and WithFlightRecorder are mutually exclusive", acc.Name())
+	}
+	if cfg.rec != nil || cfg.flight != nil {
 		track := cfg.track
 		if track == "" {
 			track = acc.Name()
 		}
-		e.rec = cfg.rec
-		e.trk = cfg.rec.Track(track) // one Sprintf-free lookup, at registration
+		// One Sprintf-free track lookup, at registration.
+		if cfg.rec != nil {
+			e.trk, e.now = cfg.rec.Track(track), cfg.rec.Now
+		} else {
+			e.flight = cfg.flight
+			e.trk, e.now = cfg.flight.fl.Track(track), cfg.flight.fl.Now
+		}
 	}
 	go e.run()
 	return e, nil
@@ -330,7 +355,7 @@ func (e *Engine) runTraced(buf []Word, inW int, bo *backoff) {
 	var idleSleeps uint64
 	idling := false
 	for {
-		drainStart := e.rec.Now()
+		drainStart := e.now()
 		n := e.in.TryPopInto(buf[fill:])
 		fill += n
 		if fill < inW {
@@ -370,14 +395,14 @@ func (e *Engine) runTraced(buf []Word, inW int, bo *backoff) {
 		blocks := fill / inW
 		e.elemsIn.Add(uint64(blocks * inW))
 		for b := 0; b < blocks; b++ {
-			t0 := e.rec.Now()
+			t0 := e.now()
 			res, err := e.acc.Process(buf[b*inW : (b+1)*inW])
 			if err != nil {
 				e.fail(err)
 				return
 			}
 			e.trk.Span("compute", t0)
-			t0 = e.rec.Now()
+			t0 = e.now()
 			if !e.pushSliceStoppable(e.out, res) {
 				return
 			}
@@ -397,13 +422,18 @@ func (e *Engine) runTraced(buf []Word, inW int, bo *backoff) {
 // is terminal for the engine (the stream's block framing is gone) but must
 // not take the process down: record it and park, like a hardware engine
 // raising an error IRQ and halting its FSM. Out-of-line so the wrapped
-// error's allocation never lands in the run loops' frames.
+// error's allocation never lands in the run loops' frames. When a flight
+// recorder is attached, parking dumps the ring — the last moments before
+// the fault, ending with this engine's "error" instant.
 func (e *Engine) fail(err error) {
 	e.errs.Add(1)
 	werr := fmt.Errorf("cohort: accelerator %s failed mid-stream: %w", e.acc.Name(), err)
 	e.errp.Store(&werr)
 	if e.trk != nil {
 		e.trk.Instant("error")
+	}
+	if e.flight != nil {
+		e.flight.AutoDump(werr.Error())
 	}
 }
 
@@ -444,14 +474,6 @@ func (e *Engine) Unregister() {
 	<-e.done
 }
 
-// Stats reports elements consumed and produced, mirroring the hardware
-// engine's performance counters.
-//
-// Deprecated: Use StatsDetail, which snapshots every counter.
-func (e *Engine) Stats() (elemsIn, elemsOut uint64) {
-	return e.elemsIn.Load(), e.elemsOut.Load()
-}
-
 // Err returns the terminal error that stopped the engine, or nil while it is
 // healthy. A non-nil error means the accelerator failed mid-stream and the
 // engine has parked (its goroutine exited); Unregister still works.
@@ -477,6 +499,15 @@ type EngineStats struct {
 	// time from finding a block batch to its last output publication,
 	// measured on one in histoSampleEvery wakeups.
 	DrainNs LatencyHistogram
+}
+
+// String renders the snapshot on one line, with the drain latency
+// distribution summarized as interpolated quantiles.
+func (s EngineStats) String() string {
+	return fmt.Sprintf(
+		"words_in=%d words_out=%d blocks=%d wakeups=%d backoff_sleeps=%d errors=%d drain_ns{p50=%.0f p95=%.0f p99=%.0f n=%d}",
+		s.WordsIn, s.WordsOut, s.Blocks, s.Wakeups, s.BackoffSleeps, s.Errors,
+		s.DrainNs.Quantile(0.5), s.DrainNs.Quantile(0.95), s.DrainNs.Quantile(0.99), s.DrainNs.Samples())
 }
 
 // StatsDetail snapshots all engine counters.

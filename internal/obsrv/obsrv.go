@@ -1,0 +1,185 @@
+// Package obsrv is the live observability plane: a small embeddable HTTP
+// server that exposes the runtime's metrics, traces, health, and Go
+// profiling endpoints while a workload runs. It is the software analogue of
+// a hardware performance-counter bus — always attached, read on demand,
+// never in the data path.
+//
+// Endpoints:
+//
+//	/metrics        Prometheus text exposition (version 0.0.4)
+//	/healthz        JSON liveness per engine; 503 if any engine is unhealthy
+//	/trace          on-demand Chrome trace JSON dump (open in Perfetto)
+//	/debug/pprof/*  standard Go profiling (CPU, heap, goroutine, ...)
+//
+// The package deliberately depends only on the standard library and is
+// decoupled from the runtime through the functional fields of Options: the
+// caller supplies writers for metrics and trace payloads and a health
+// snapshot function, so the same server fronts the native runtime, the
+// simulator, or both.
+package obsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Health is one component's liveness as served by /healthz. Err is a string
+// (not error) so the struct marshals to JSON directly.
+type Health struct {
+	Name    string        `json:"name"`
+	Err     string        `json:"err,omitempty"`
+	Stalled bool          `json:"stalled,omitempty"`
+	Idle    time.Duration `json:"idle_ns"`
+}
+
+// Healthy reports whether this component is live: not stalled and not
+// parked with a terminal error.
+func (h Health) Healthy() bool { return h.Err == "" && !h.Stalled }
+
+// Options wires a Server to the runtime. Every field is optional; endpoints
+// whose source is nil respond 404.
+type Options struct {
+	// MetricsText writes the /metrics payload (Prometheus text format).
+	MetricsText func(w io.Writer) error
+	// TraceJSON writes the /trace payload (Chrome trace event JSON).
+	TraceJSON func(w io.Writer) error
+	// Health snapshots component liveness for /healthz.
+	Health func() []Health
+}
+
+// Server serves the observability endpoints over HTTP.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	mu  sync.Mutex
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New builds a server with the given sources. Call Serve to bind a
+// listener, or mount Handler on an existing server.
+func New(opts Options) *Server {
+	s := &Server{opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/trace", s.trace)
+	mux.HandleFunc("/", s.index)
+	// net/http/pprof registers on DefaultServeMux at import; wire the
+	// handlers explicitly so this mux works standalone.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root handler, for embedding into an existing mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve binds addr (e.g. ":9120" or "127.0.0.1:0") and serves in a
+// background goroutine until Close. It returns once the listener is bound,
+// so Addr is valid immediately after.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // always returns ErrServerClosed after Close
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. Safe to call without Serve.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	if s.opts.MetricsText == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.opts.MetricsText(w); err != nil {
+		// Headers are gone; best effort is to note the failure inline.
+		fmt.Fprintf(w, "# metrics error: %v\n", err)
+	}
+}
+
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	if s.opts.TraceJSON == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="cohort-trace.json"`)
+	if err := s.opts.TraceJSON(w); err != nil {
+		fmt.Fprintf(w, "\n// trace error: %v\n", err)
+	}
+}
+
+// healthzBody is the /healthz JSON document.
+type healthzBody struct {
+	Status  string   `json:"status"` // "ok" or "unhealthy"
+	Engines []Health `json:"engines"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	body := healthzBody{Status: "ok"}
+	if s.opts.Health != nil {
+		body.Engines = s.opts.Health()
+	}
+	code := http.StatusOK
+	for _, h := range body.Engines {
+		if !h.Healthy() {
+			body.Status = "unhealthy"
+			code = http.StatusServiceUnavailable
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body) //nolint:errcheck // response writer
+}
+
+// index is a minimal landing page listing the endpoints.
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "cohort observability\n\n/metrics\n/healthz\n/trace\n/debug/pprof/\n") //nolint:errcheck
+}

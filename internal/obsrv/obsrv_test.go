@@ -1,0 +1,154 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec, rec.Body.String()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Options{MetricsText: func(w io.Writer) error {
+		_, err := io.WriteString(w, "# TYPE cohort_pushes gauge\ncohort_pushes{source=\"q\"} 3\n")
+		return err
+	}})
+	rec, body := get(t, s.Handler(), "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(body, `cohort_pushes{source="q"} 3`) {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestMetricsEndpointMissingSourceIs404(t *testing.T) {
+	s := New(Options{})
+	for _, path := range []string{"/metrics", "/trace"} {
+		if rec, _ := get(t, s.Handler(), path); rec.Code != http.StatusNotFound {
+			t.Errorf("%s status = %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	s := New(Options{TraceJSON: func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}})
+	rec, body := get(t, s.Handler(), "/trace")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace body is not JSON: %v", err)
+	}
+}
+
+func TestHealthzHealthy(t *testing.T) {
+	s := New(Options{Health: func() []Health {
+		return []Health{
+			{Name: "dgemm", Idle: 5 * time.Millisecond},
+			{Name: "fft", Idle: time.Second}, // idle without pending input is healthy
+		}
+	}})
+	rec, body := get(t, s.Handler(), "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, body)
+	}
+	var doc healthzBody
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" || len(doc.Engines) != 2 {
+		t.Errorf("doc = %+v", doc)
+	}
+}
+
+func TestHealthzStalledAndParkedAre503(t *testing.T) {
+	for name, h := range map[string]Health{
+		"stalled": {Name: "dgemm", Stalled: true, Idle: 80 * time.Millisecond},
+		"parked":  {Name: "dgemm", Err: errors.New("synthetic device fault").Error()},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := New(Options{Health: func() []Health { return []Health{h} }})
+			rec, body := get(t, s.Handler(), "/healthz")
+			if rec.Code != http.StatusServiceUnavailable {
+				t.Fatalf("status = %d, want 503; body %s", rec.Code, body)
+			}
+			var doc healthzBody
+			if err := json.Unmarshal([]byte(body), &doc); err != nil {
+				t.Fatal(err)
+			}
+			if doc.Status != "unhealthy" {
+				t.Errorf("status field = %q", doc.Status)
+			}
+		})
+	}
+}
+
+func TestHealthzNoSourceIsOK(t *testing.T) {
+	rec, _ := get(t, New(Options{}).Handler(), "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d, want 200", rec.Code)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	rec, body := get(t, New(Options{}).Handler(), "/debug/pprof/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profile list: %q", body)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	s := New(Options{MetricsText: func(w io.Writer) error {
+		_, err := io.WriteString(w, "cohort_up 1\n")
+		return err
+	}})
+	if err := s.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if addr == "" {
+		t.Fatal("Addr() empty after Serve")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "cohort_up 1") {
+		t.Errorf("body = %q", b)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Flight is the flight-recorder variant of Recorder: an always-on,
+// fixed-memory ring of the most recent events, meant to run for the life of
+// a service and be snapshotted only when something goes wrong (an engine
+// parking with a terminal error, a watchdog-detected stall, an operator
+// hitting /trace). Where Recorder grows without bound and may only be
+// snapshotted after its writers quiesce, Flight keeps the last perTrack
+// events of every track and can be snapshotted at ANY time, concurrently
+// with active writers.
+//
+// Memory is bounded by construction: tracks × perTrack × sizeof(Event), with
+// event names shared (callers pass the same literal each time). Locking is
+// per-track ("sharded"): each track has its own mutex guarding a fixed ring,
+// so concurrent engines never contend with each other, and a write holds its
+// track's lock only for one slot store. There is no global lock on the event
+// path — the Flight-level mutex is taken only on first use of a track name
+// and during Snapshot.
+//
+// Like Recorder, a nil *Flight is the disabled state: Track returns nil and
+// every FlightTrack method no-ops on a nil receiver.
+type Flight struct {
+	now func() uint64
+	per int
+
+	mu     sync.Mutex
+	tracks map[string]*FlightTrack
+	order  []*FlightTrack
+}
+
+// NewFlight returns a flight recorder keeping the last perTrack events of
+// every track, stamped by now (the caller's time domain, as with New).
+func NewFlight(perTrack int, now func() uint64) *Flight {
+	if perTrack < 1 {
+		perTrack = 1
+	}
+	return &Flight{now: now, per: perTrack, tracks: make(map[string]*FlightTrack)}
+}
+
+// NewFlightWall returns a flight recorder stamping events with wall-clock
+// microseconds since its creation — the native runtime's time domain.
+func NewFlightWall(perTrack int) *Flight {
+	start := time.Now()
+	return NewFlight(perTrack, func() uint64 { return uint64(time.Since(start) / time.Microsecond) })
+}
+
+// Enabled reports whether the recorder records (i.e. is non-nil).
+func (f *Flight) Enabled() bool { return f != nil }
+
+// Now returns the current timestamp, or 0 when disabled.
+func (f *Flight) Now() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.now()
+}
+
+// Track returns the named track, creating its ring on first use; repeated
+// calls with the same name return the same track. Returns nil on a nil
+// recorder. Safe for concurrent use.
+func (f *Flight) Track(name string) *FlightTrack {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := f.tracks[name]
+	if t == nil {
+		t = &FlightTrack{f: f, name: name, buf: make([]Event, f.per)}
+		f.tracks[name] = t
+		f.order = append(f.order, t)
+	}
+	return t
+}
+
+// Snapshot copies the ring contents of every track, oldest event first,
+// under the given process label. Unlike Recorder.Snapshot it is safe to call
+// at any time, including while tracks are being written.
+func (f *Flight) Snapshot(process string) Snapshot {
+	s := Snapshot{Process: process}
+	if f == nil {
+		return s
+	}
+	f.mu.Lock()
+	order := append([]*FlightTrack(nil), f.order...)
+	f.mu.Unlock()
+	for _, t := range order {
+		s.Tracks = append(s.Tracks, t.snapshot())
+	}
+	return s
+}
+
+// FlightTrack is one named fixed-size ring of events. Unlike Track it is
+// safe for concurrent writers (each write takes the track's own mutex), and
+// all methods no-op on a nil receiver.
+type FlightTrack struct {
+	f    *Flight
+	name string
+
+	mu  sync.Mutex
+	buf []Event
+	n   uint64 // total events ever written; buf[n%len(buf)] is the next slot
+}
+
+// Name returns the track's name ("" for nil).
+func (t *FlightTrack) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+func (t *FlightTrack) add(e Event) {
+	t.mu.Lock()
+	t.buf[t.n%uint64(len(t.buf))] = e
+	t.n++
+	t.mu.Unlock()
+}
+
+// Instant records a zero-duration marker at the current time.
+func (t *FlightTrack) Instant(name string) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Kind: KindInstant, Start: t.f.now()})
+}
+
+// Span records a duration from start (a value previously obtained from
+// Flight.Now) to the current time.
+func (t *FlightTrack) Span(name string, start uint64) {
+	if t == nil {
+		return
+	}
+	now := t.f.now()
+	if now < start {
+		now = start
+	}
+	t.add(Event{Name: name, Kind: KindSpan, Start: start, Dur: now - start})
+}
+
+// SpanAt records a duration with explicit bounds.
+func (t *FlightTrack) SpanAt(name string, start, dur uint64) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Kind: KindSpan, Start: start, Dur: dur})
+}
+
+// Counter records a sampled value at the current time.
+func (t *FlightTrack) Counter(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Kind: KindCounter, Start: t.f.now(), Value: v})
+}
+
+// Dropped returns how many events have been overwritten by newer ones —
+// the ring's total writes beyond its capacity.
+func (t *FlightTrack) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// snapshot copies the ring oldest-first.
+func (t *FlightTrack) snapshot() TrackSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cap64 := uint64(len(t.buf))
+	if t.n <= cap64 {
+		return TrackSnapshot{Name: t.name, Events: append([]Event(nil), t.buf[:t.n]...)}
+	}
+	head := t.n % cap64 // oldest slot
+	out := make([]Event, 0, cap64)
+	out = append(out, t.buf[head:]...)
+	out = append(out, t.buf[:head]...)
+	return TrackSnapshot{Name: t.name, Events: out}
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFlightBoundedRing writes far more events than the ring holds and checks
+// the snapshot keeps exactly the newest perTrack events, oldest first.
+func TestFlightBoundedRing(t *testing.T) {
+	var clock uint64
+	f := NewFlight(8, func() uint64 { clock++; return clock })
+	trk := f.Track("eng")
+	for i := 0; i < 100; i++ {
+		trk.Instant("tick")
+	}
+	if got := trk.Dropped(); got != 92 {
+		t.Errorf("Dropped() = %d, want 92", got)
+	}
+	snap := f.Snapshot("p")
+	if len(snap.Tracks) != 1 || len(snap.Tracks[0].Events) != 8 {
+		t.Fatalf("snapshot shape wrong: %+v", snap)
+	}
+	// The last 100 instants were stamped 1..100; the ring keeps 93..100.
+	for i, e := range snap.Tracks[0].Events {
+		if want := uint64(93 + i); e.Start != want {
+			t.Errorf("event %d stamped %d, want %d (oldest-first order)", i, e.Start, want)
+		}
+	}
+}
+
+// TestFlightPartialRing checks the snapshot before the ring wraps.
+func TestFlightPartialRing(t *testing.T) {
+	f := NewFlightWall(16)
+	trk := f.Track("a")
+	trk.Instant("one")
+	trk.SpanAt("two", 5, 7)
+	trk.Counter("depth", 3)
+	if d := trk.Dropped(); d != 0 {
+		t.Errorf("Dropped() = %d, want 0", d)
+	}
+	evs := f.Snapshot("p").Tracks[0].Events
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Name != "one" || evs[0].Kind != KindInstant {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Name != "two" || evs[1].Kind != KindSpan || evs[1].Start != 5 || evs[1].Dur != 7 {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+	if evs[2].Name != "depth" || evs[2].Kind != KindCounter || evs[2].Value != 3 {
+		t.Errorf("event 2 = %+v", evs[2])
+	}
+}
+
+// TestFlightNilSafety: a nil *Flight and its nil tracks must be inert, like
+// the unbounded recorder.
+func TestFlightNilSafety(t *testing.T) {
+	var f *Flight
+	if f.Enabled() {
+		t.Error("nil Flight reports enabled")
+	}
+	if f.Now() != 0 {
+		t.Error("nil Flight Now() != 0")
+	}
+	trk := f.Track("x")
+	if trk != nil {
+		t.Fatal("nil Flight returned non-nil track")
+	}
+	trk.Instant("a")
+	trk.Span("b", 0)
+	trk.SpanAt("c", 0, 1)
+	trk.Counter("d", 1)
+	if trk.Dropped() != 0 || trk.Name() != "" {
+		t.Error("nil track not inert")
+	}
+	if s := f.Snapshot("p"); len(s.Tracks) != 0 {
+		t.Errorf("nil snapshot has tracks: %+v", s)
+	}
+}
+
+// TestFlightConcurrentSnapshot hammers several tracks from several goroutines
+// while snapshotting continuously — the race detector validates the
+// any-time-snapshot claim, and every observed snapshot must be internally
+// consistent (monotone non-decreasing timestamps per track).
+func TestFlightConcurrentSnapshot(t *testing.T) {
+	f := NewFlightWall(32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		trk := f.Track(fmt.Sprintf("w%d", w))
+		go func(trk *FlightTrack) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := f.Now()
+				trk.Span("work", start)
+				trk.Counter("i", int64(i))
+			}
+		}(trk)
+	}
+	for i := 0; i < 200; i++ {
+		snap := f.Snapshot("p")
+		for _, tr := range snap.Tracks {
+			if len(tr.Events) > 32 {
+				t.Fatalf("track %s grew beyond the ring: %d events", tr.Name, len(tr.Events))
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestFlightWriteChrome: flight snapshots feed the same Chrome serializer as
+// full recorder snapshots.
+func TestFlightWriteChrome(t *testing.T) {
+	f := NewFlightWall(4)
+	f.Track("e").Instant("boom")
+	var b bytes.Buffer
+	if err := WriteChrome(&b, f.Snapshot("flight")); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &evs); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	found := false
+	for _, e := range evs {
+		if e["name"] == "boom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dump missing the recorded instant: %s", b.String())
+	}
+}

@@ -3,6 +3,9 @@ package cohort
 import (
 	"fmt"
 	"io"
+	"reflect"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -15,10 +18,13 @@ import (
 // writes the same Chrome trace-event JSON as the simulator — so a native run
 // and a simulated run open side by side in Perfetto.
 
-// Metric is one named counter sample.
+// Metric is one named sample: a plain counter value, or — when Histo is
+// non-nil — a whole latency distribution (rendered as quantiles by String
+// and as a Prometheus summary by WritePrometheus).
 type Metric struct {
 	Name  string
 	Value uint64
+	Histo *LatencyHistogram
 }
 
 // SourceSnapshot is one registered source's counters at snapshot time.
@@ -100,10 +106,108 @@ func (r *Registry) String() string {
 			}
 		}
 		for _, m := range s.Metrics {
+			if m.Histo != nil {
+				fmt.Fprintf(&b, "  %-*s p50=%.0fns p95=%.0fns p99=%.0fns n=%d\n", width, m.Name,
+					m.Histo.Quantile(0.5), m.Histo.Quantile(0.95), m.Histo.Quantile(0.99), m.Histo.Samples())
+				continue
+			}
 			fmt.Fprintf(&b, "  %-*s %d\n", width, m.Name, m.Value)
 		}
 	}
 	return b.String()
+}
+
+// WritePrometheus renders the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): one metric family per distinct metric
+// name, prefixed `cohort_`, with the source name as a `source` label.
+// Families are emitted in sorted name order with HELP/TYPE lines; within a
+// family, samples appear in source registration order — the output is
+// deterministic for a fixed registry state, which the golden-file test pins.
+// Plain counters are exposed as gauges (a snapshot of a monotone counter);
+// histogram-valued metrics (Metric.Histo) become summaries with
+// p50/p95/p99 quantiles computed by LatencyHistogram.Quantile, a
+// midpoint-estimated _sum, and an exact _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type sample struct {
+		source string
+		m      Metric
+	}
+	families := make(map[string][]sample)
+	var names []string
+	for _, s := range r.Snapshot() {
+		for _, m := range s.Metrics {
+			fam := promName(m.Name)
+			if _, ok := families[fam]; !ok {
+				names = append(names, fam)
+			}
+			families[fam] = append(families[fam], sample{s.Name, m})
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, fam := range names {
+		ss := families[fam]
+		kind := "gauge"
+		if ss[0].m.Histo != nil {
+			kind = "summary"
+		}
+		fmt.Fprintf(&b, "# HELP %s Cohort runtime metric %s.\n", fam, ss[0].m.Name)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, kind)
+		for _, s := range ss {
+			src := promEscape(s.source)
+			if h := s.m.Histo; h != nil {
+				for _, q := range [...]float64{0.5, 0.95, 0.99} {
+					fmt.Fprintf(&b, "%s{source=\"%s\",quantile=\"%g\"} %s\n", fam, src, q, promFloat(h.Quantile(q)))
+				}
+				fmt.Fprintf(&b, "%s_sum{source=\"%s\"} %s\n", fam, src, promFloat(h.sumEstimate()))
+				fmt.Fprintf(&b, "%s_count{source=\"%s\"} %d\n", fam, src, h.Samples())
+				continue
+			}
+			fmt.Fprintf(&b, "%s{source=\"%s\"} %d\n", fam, src, s.m.Value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName sanitizes a metric name into the Prometheus identifier alphabet
+// ([a-zA-Z0-9_:]) under the cohort_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("cohort_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func promEscape(v string) string {
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float sample value (quantiles, sums).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // RegisterFifo exposes a queue's FifoStats under the given source name.
@@ -113,11 +217,11 @@ func RegisterFifo[T any](r *Registry, name string, q *Fifo[T]) {
 	r.Register(name, func() []Metric {
 		s := q.Stats()
 		return []Metric{
-			{"pushes", s.Pushes},
-			{"pops", s.Pops},
-			{"push_stalls", s.PushStalls},
-			{"pop_stalls", s.PopStalls},
-			{"high_water", s.HighWater},
+			{Name: "pushes", Value: s.Pushes},
+			{Name: "pops", Value: s.Pops},
+			{Name: "push_stalls", Value: s.PushStalls},
+			{Name: "pop_stalls", Value: s.PopStalls},
+			{Name: "high_water", Value: s.HighWater},
 		}
 	})
 }
@@ -127,31 +231,95 @@ func RegisterMpmc[T any](r *Registry, name string, q *Mpmc[T]) {
 	r.Register(name, func() []Metric {
 		s := q.Stats()
 		return []Metric{
-			{"pushes", s.Pushes},
-			{"pops", s.Pops},
+			{Name: "pushes", Value: s.Pushes},
+			{Name: "pops", Value: s.Pops},
 		}
 	})
 }
 
-// RegisterEngine exposes an engine's EngineStats under the given source name.
+// RegisterEngine exposes an engine's EngineStats under the given source
+// name, with the sampled drain latency distribution as a histogram-valued
+// metric (quantiles in String/WritePrometheus output).
 func RegisterEngine(r *Registry, name string, e *Engine) {
 	r.Register(name, func() []Metric {
 		s := e.StatsDetail()
-		ms := []Metric{
-			{"words_in", s.WordsIn},
-			{"words_out", s.WordsOut},
-			{"blocks", s.Blocks},
-			{"wakeups", s.Wakeups},
-			{"backoff_sleeps", s.BackoffSleeps},
-			{"errors", s.Errors},
+		h := s.DrainNs
+		return []Metric{
+			{Name: "words_in", Value: s.WordsIn},
+			{Name: "words_out", Value: s.WordsOut},
+			{Name: "blocks", Value: s.Blocks},
+			{Name: "wakeups", Value: s.Wakeups},
+			{Name: "backoff_sleeps", Value: s.BackoffSleeps},
+			{Name: "errors", Value: s.Errors},
+			{Name: "drain_ns", Histo: &h},
 		}
-		for i, c := range s.DrainNs.Buckets {
-			if c != 0 {
-				ms = append(ms, Metric{fmt.Sprintf("drain_ns_le_%d", uint64(1)<<i), c})
+	})
+}
+
+// FieldMetrics converts a flat counters struct — exported fields of unsigned,
+// signed or LatencyHistogram type — into a metric list, naming each metric
+// after its field in snake_case. It lets ad-hoc stat structs (the simulator's
+// per-subsystem counters, for instance) feed a Registry without hand-written
+// adapters:
+//
+//	reg.Register("dir", func() []cohort.Metric { return cohort.FieldMetrics(dir.Stats()) })
+//
+// Non-struct values and unsupported field types yield no metrics; negative
+// signed values are clamped to 0.
+func FieldMetrics(v any) []Metric {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Struct {
+		return nil
+	}
+	rt := rv.Type()
+	var out []Metric
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := snakeCase(f.Name)
+		fv := rv.Field(i)
+		switch fv.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			out = append(out, Metric{Name: name, Value: fv.Uint()})
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			n := fv.Int()
+			if n < 0 {
+				n = 0
+			}
+			out = append(out, Metric{Name: name, Value: uint64(n)})
+		default:
+			if h, ok := fv.Interface().(LatencyHistogram); ok {
+				hc := h
+				out = append(out, Metric{Name: name, Histo: &hc})
 			}
 		}
-		return ms
-	})
+	}
+	return out
+}
+
+// snakeCase converts a Go exported field name (TLBHits, WordsIn) to a metric
+// identifier (tlb_hits, words_in): an underscore is inserted before each
+// upper→lower boundary and each lower/digit→upper boundary.
+func snakeCase(s string) string {
+	var b strings.Builder
+	rs := []rune(s)
+	for i, c := range rs {
+		isUpper := c >= 'A' && c <= 'Z'
+		if isUpper && i > 0 {
+			prevUpper := rs[i-1] >= 'A' && rs[i-1] <= 'Z'
+			nextLower := i+1 < len(rs) && rs[i+1] >= 'a' && rs[i+1] <= 'z'
+			if !prevUpper || nextLower {
+				b.WriteByte('_')
+			}
+		}
+		if isUpper {
+			c += 'a' - 'A'
+		}
+		b.WriteRune(c)
+	}
+	return b.String()
 }
 
 // LatencyHistogram is a log2-bucketed latency distribution in nanoseconds:
@@ -168,6 +336,59 @@ func (h LatencyHistogram) Samples() uint64 {
 		n += c
 	}
 	return n
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) of the recorded
+// distribution in nanoseconds: it walks the cumulative bucket counts to the
+// bucket containing the target rank and interpolates linearly between that
+// bucket's bounds [2^(i-1), 2^i). The estimate is exact for distributions
+// uniform within each bucket and always lies inside the true sample's
+// bucket, i.e. within a factor of 2. Returns 0 when no samples are recorded.
+func (h LatencyHistogram) Quantile(p float64) float64 {
+	n := h.Samples()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(n)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if target <= next {
+			if i == 0 {
+				return 0 // bucket 0 is exactly the zero-duration samples
+			}
+			lo := float64(uint64(1) << (i - 1))
+			hi := float64(uint64(1) << i)
+			return lo + (target-cum)/float64(c)*(hi-lo)
+		}
+		cum = next
+	}
+	return float64(uint64(1) << (histoBuckets - 1)) // unreachable: target <= n
+}
+
+// sumEstimate approximates the distribution's total in nanoseconds from the
+// bucket midpoints (bucket i's samples counted at 1.5·2^(i-1) ns).
+func (h LatencyHistogram) sumEstimate() float64 {
+	var sum float64
+	for i, c := range h.Buckets {
+		if c == 0 || i == 0 {
+			continue
+		}
+		sum += float64(c) * 1.5 * float64(uint64(1)<<(i-1))
+	}
+	return sum
 }
 
 // String renders the nonzero buckets, one "<upper-bound>ns: count" pair per
@@ -202,7 +423,7 @@ func NewTrace() *Trace { return &Trace{rec: trace.NewWall()} }
 // spans around Push/Pop calls, for example). Tracks are created on first use
 // and are safe for use by one goroutine at a time.
 func (t *Trace) Track(name string) *TraceTrack {
-	return &TraceTrack{trk: t.rec.Track(name), rec: t.rec}
+	return &TraceTrack{trk: t.rec.Track(name), now: t.rec.Now}
 }
 
 // WriteChrome writes everything recorded so far as Chrome trace-event JSON
@@ -212,17 +433,18 @@ func (t *Trace) WriteChrome(w io.Writer, process string) error {
 	return trace.WriteChrome(w, t.rec.Snapshot(process))
 }
 
-// TraceTrack is an application-facing track handle.
+// TraceTrack is an application-facing track handle, backed by either a
+// Trace (unbounded) or a FlightRecorder (ring-buffered) track.
 type TraceTrack struct {
-	trk *trace.Track
-	rec *trace.Recorder
+	trk eventSink
+	now func() uint64
 }
 
 // Instant marks a point event now.
 func (t *TraceTrack) Instant(name string) { t.trk.Instant(name) }
 
 // Begin starts a span; pass the returned start time to End.
-func (t *TraceTrack) Begin() uint64 { return t.rec.Now() }
+func (t *TraceTrack) Begin() uint64 { return t.now() }
 
 // End completes a span opened with Begin.
 func (t *TraceTrack) End(name string, start uint64) { t.trk.Span(name, start) }

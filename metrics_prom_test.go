@@ -1,0 +1,234 @@
+package cohort
+
+import (
+	"bytes"
+	"math"
+	"math/bits"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// observe files one latency sample exactly as Engine.recordDrain does.
+func observe(h *LatencyHistogram, ns uint64) {
+	i := bits.Len64(ns)
+	if i >= histoBuckets {
+		i = histoBuckets - 1
+	}
+	h.Buckets[i]++
+}
+
+// TestLatencyHistogramQuantileInterpolation checks the log2-bucket linear
+// interpolation against hand-computed values on constructed bucket counts.
+func TestLatencyHistogramQuantileInterpolation(t *testing.T) {
+	var h LatencyHistogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram Quantile(0.5) = %g, want 0", q)
+	}
+
+	// One bucket: 10 samples in [4,8).
+	h = LatencyHistogram{}
+	h.Buckets[3] = 10
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 6},   // target rank 5 → 4 + 5/10·4
+		{1.0, 8},   // upper bound of the bucket
+		{0.0, 4.4}, // rank clamps to 1 → 4 + 1/10·4
+		{-1, 4.4},  // p clamps to 0
+		{2, 8},     // p clamps to 1
+	} {
+		if q := h.Quantile(tc.p); math.Abs(q-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.p, q, tc.want)
+		}
+	}
+
+	// Two buckets: 5 samples in [1,2), 5 in [8,16).
+	h = LatencyHistogram{}
+	h.Buckets[1] = 5
+	h.Buckets[4] = 5
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 2},      // rank 5 lands exactly at the first bucket's top
+		{0.95, 15.2},  // 8 + (9.5-5)/5·8
+		{0.99, 15.84}, // 8 + (9.9-5)/5·8
+	} {
+		if q := h.Quantile(tc.p); math.Abs(q-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.p, q, tc.want)
+		}
+	}
+
+	// Zero-duration samples resolve to bucket 0 and a 0 quantile.
+	h = LatencyHistogram{}
+	h.Buckets[0] = 4
+	h.Buckets[5] = 1
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("mostly-zero histogram Quantile(0.5) = %g, want 0", q)
+	}
+	if q := h.Quantile(1.0); q != 32 {
+		t.Errorf("Quantile(1.0) = %g, want 32", q)
+	}
+}
+
+// TestLatencyHistogramQuantileKnownSamples feeds a known uniform sample set
+// through the engine's bucketing: for data uniform within buckets the
+// interpolated quantiles track the true order statistics closely, and any
+// estimate must stay within the true value's bucket (factor-2 bound).
+func TestLatencyHistogramQuantileKnownSamples(t *testing.T) {
+	var h LatencyHistogram
+	for ns := uint64(1); ns <= 1024; ns++ {
+		observe(&h, ns)
+	}
+	if n := h.Samples(); n != 1024 {
+		t.Fatalf("Samples() = %d, want 1024", n)
+	}
+	for _, tc := range []struct{ p, truth, tol float64 }{
+		{0.50, 512, 16},
+		{0.95, 973, 64},
+		{0.99, 1014, 64},
+	} {
+		q := h.Quantile(tc.p)
+		if math.Abs(q-tc.truth) > tc.tol {
+			t.Errorf("Quantile(%g) = %g, want ~%g (±%g)", tc.p, q, tc.truth, tc.tol)
+		}
+		if q > 2*tc.truth || q < tc.truth/2 {
+			t.Errorf("Quantile(%g) = %g escapes the factor-2 bucket bound around %g", tc.p, q, tc.truth)
+		}
+	}
+}
+
+// TestEngineStatsString: the one-line rendering uses the quantiles.
+func TestEngineStatsString(t *testing.T) {
+	var s EngineStats
+	s.WordsIn, s.WordsOut, s.Blocks, s.Wakeups = 80, 40, 10, 5
+	s.DrainNs.Buckets[3] = 10
+	out := s.String()
+	for _, want := range []string{"words_in=80", "words_out=40", "blocks=10", "p50=6", "n=10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EngineStats.String() missing %q: %s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition output byte-for-byte:
+// sorted family order, HELP/TYPE lines, label escaping (quote, backslash,
+// newline), metric-name sanitization, and summary rendering of
+// histogram-valued metrics.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("q\"in\\left\nx", func() []Metric {
+		return []Metric{
+			{Name: "pushes", Value: 42},
+			{Name: "high water!", Value: 7},
+		}
+	})
+	reg.Register("engine-0", func() []Metric {
+		h := &LatencyHistogram{}
+		h.Buckets[0] = 2
+		h.Buckets[3] = 10
+		h.Buckets[4] = 4
+		return []Metric{
+			{Name: "words_in", Value: 100},
+			{Name: "drain_ns", Histo: h},
+		}
+	})
+	reg.Register("bravo", func() []Metric {
+		return []Metric{{Name: "pushes", Value: 1}}
+	})
+
+	var got bytes.Buffer
+	if err := reg.WritePrometheus(&got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/registry.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("exposition output differs from golden file.\n--- got ---\n%s\n--- want ---\n%s", got.String(), want)
+	}
+}
+
+// TestFieldMetrics covers the reflective struct→metrics adapter, including
+// snake_case naming of acronym-heavy field names and histogram fields.
+func TestFieldMetrics(t *testing.T) {
+	type stats struct {
+		TLBHits  uint64
+		WordsIn  uint32
+		Depth    int
+		Negative int64
+		DrainNs  LatencyHistogram
+		hidden   uint64 //nolint:unused // exercises the unexported-field skip
+		Name     string // unsupported type: skipped
+	}
+	s := stats{TLBHits: 7, WordsIn: 3, Depth: 2, Negative: -5}
+	s.DrainNs.Buckets[3] = 10
+	ms := FieldMetrics(s)
+	want := map[string]uint64{"tlb_hits": 7, "words_in": 3, "depth": 2, "negative": 0}
+	if len(ms) != 5 {
+		t.Fatalf("metrics = %+v", ms)
+	}
+	for _, m := range ms {
+		if m.Name == "drain_ns" {
+			if m.Histo == nil || m.Histo.Samples() != 10 {
+				t.Errorf("drain_ns = %+v", m)
+			}
+			continue
+		}
+		v, ok := want[m.Name]
+		if !ok || m.Value != v {
+			t.Errorf("metric %q = %d, want %d (known=%v)", m.Name, m.Value, v, ok)
+		}
+	}
+	if got := FieldMetrics(42); got != nil {
+		t.Errorf("FieldMetrics(non-struct) = %+v", got)
+	}
+}
+
+// expositionLine matches the sample-line grammar of the text format (HELP
+// and TYPE lines aside): name{labels} value.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9eE.+-]+$`)
+
+// TestWritePrometheusLiveSources renders a registry over real runtime
+// objects and checks every emitted line parses.
+func TestWritePrometheusLiveSources(t *testing.T) {
+	q, _ := NewFifo[Word](64)
+	in, _ := NewFifo[Word](64)
+	out, _ := NewFifo[Word](64)
+	e, err := Register(NewNull(), in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.PushSlice(make([]Word, 32))
+	buf := make([]Word, 32)
+	out.PopSlice(buf)
+	// Quiesce before sampling: SPSC fifo Stats are only safe once the
+	// engine goroutine has parked, same as Registry.String callers.
+	e.Unregister()
+
+	reg := NewRegistry()
+	RegisterFifo(reg, "in", in)
+	RegisterFifo(reg, "spare", q)
+	RegisterEngine(reg, "null", e)
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	outStr := b.String()
+	for _, want := range []string{
+		"# TYPE cohort_pushes gauge",
+		"# TYPE cohort_drain_ns summary",
+		`cohort_words_in{source="null"} 32`,
+		`cohort_drain_ns_count{source="null"}`,
+	} {
+		if !strings.Contains(outStr, want) {
+			t.Errorf("output missing %q:\n%s", want, outStr)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(outStr, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("line does not match exposition grammar: %q", line)
+		}
+	}
+}
