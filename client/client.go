@@ -1,0 +1,231 @@
+// Package client is the tenant-side library for cohortd: dial the daemon,
+// open one accelerator session, stream words in, stream results out. It is
+// the remote twin of holding a Fifo pair on a local Engine — the wire
+// protocol (cohort/internal/wire) and the daemon's socket handling replace
+// the shared-memory queues.
+//
+// A Conn carries exactly one session. The typical small-job shape:
+//
+//	c, err := client.Connect(addr, client.Options{Tenant: "me", Accel: "sha256"})
+//	out, res, err := c.Stream(words)   // concurrent send + receive
+//	c.Close()
+//
+// For long streams, call Send/Recv from two goroutines yourself (Stream does
+// exactly that); a single goroutine alternating big Sends with no Recvs can
+// deadlock once every buffer between the two ends fills — the daemon stops
+// reading a session's socket when its input queue is full, which is the
+// per-tenant backpressure design working as intended.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"cohort"
+	"cohort/internal/wire"
+)
+
+// Options parameterizes the session carried by one connection. Accel names
+// an entry in the daemon's catalog ("sha256", "aes128", ...); the remaining
+// fields mirror sched.SessionConfig.
+type Options struct {
+	Tenant   string
+	Accel    string
+	CSR      []byte
+	Weight   int
+	Quota    uint64
+	QueueCap int
+	// DialTimeout bounds the TCP connect (default 5s).
+	DialTimeout time.Duration
+}
+
+// ErrRejected wraps the daemon's refusal to open the session (admission
+// control, unknown accelerator, bad CSR). Inspect with errors.Is and read
+// the daemon's message with errors.Unwrap / Error.
+var ErrRejected = errors.New("cohort client: session rejected")
+
+// Conn is one open session. Send/CloseSend may run concurrently with Recv
+// (one goroutine each); no method may be called concurrently with itself.
+type Conn struct {
+	c       net.Conn
+	r       *wire.Reader
+	w       *wire.Writer
+	session uint64
+	inW     int
+	outW    int
+
+	result  *wire.DoneReply
+	recvErr error
+}
+
+// Connect dials the daemon and opens a session. A non-nil error means no
+// session exists and nothing need be closed.
+func Connect(addr string, opts Options) (*Conn, error) {
+	if opts.Accel == "" {
+		return nil, errors.New("cohort client: Options.Accel is required")
+	}
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cohort client: dial %s: %w", addr, err)
+	}
+	c := &Conn{c: nc, r: wire.NewReader(nc), w: wire.NewWriter(nc)}
+	if err := c.w.JSON(wire.Open, wire.OpenRequest{
+		Tenant: opts.Tenant, Accel: opts.Accel, CSR: opts.CSR,
+		Weight: opts.Weight, Quota: opts.Quota, QueueCap: opts.QueueCap,
+	}); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("cohort client: send open: %w", err)
+	}
+	t, payload, err := c.r.Next()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("cohort client: await open reply: %w", err)
+	}
+	switch t {
+	case wire.OpenOK:
+		var rep wire.OpenReply
+		if err := wire.Unmarshal(t, payload, &rep); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		c.session, c.inW, c.outW = rep.Session, rep.InWords, rep.OutWords
+		return c, nil
+	case wire.Error:
+		var rej wire.ErrorReply
+		if err := wire.Unmarshal(t, payload, &rej); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		nc.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRejected, rej.Message)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("cohort client: unexpected %s frame before open reply", t)
+	}
+}
+
+// Session returns the daemon-assigned session id.
+func (c *Conn) Session() uint64 { return c.session }
+
+// InWords returns the accelerator's input block size in words.
+func (c *Conn) InWords() int { return c.inW }
+
+// OutWords returns the accelerator's output block size in words.
+func (c *Conn) OutWords() int { return c.outW }
+
+// Send streams ws to the session. Words need not align to blocks per call;
+// the daemon assembles blocks across frames.
+func (c *Conn) Send(ws []cohort.Word) error {
+	if err := c.w.Words(ws); err != nil {
+		return fmt.Errorf("cohort client: send data: %w", err)
+	}
+	return nil
+}
+
+// CloseSend ends the outbound stream: the daemon finishes every complete
+// block already sent, drops a trailing partial block, and replies with the
+// remaining results and a final Done. Call exactly once, after the last
+// Send.
+func (c *Conn) CloseSend() error {
+	if err := c.w.Frame(wire.CloseSend, nil); err != nil {
+		return fmt.Errorf("cohort client: close send: %w", err)
+	}
+	return nil
+}
+
+// Recv returns the next chunk of result words. It returns io.EOF once the
+// stream is complete — after which Result holds the session's final
+// counters. The returned slice is owned by the caller.
+func (c *Conn) Recv() ([]cohort.Word, error) {
+	if c.result != nil {
+		return nil, io.EOF
+	}
+	if c.recvErr != nil {
+		return nil, c.recvErr
+	}
+	for {
+		t, payload, err := c.r.Next()
+		if err != nil {
+			c.recvErr = fmt.Errorf("cohort client: recv: %w", err)
+			return nil, c.recvErr
+		}
+		switch t {
+		case wire.Data:
+			if len(payload) == 0 {
+				continue
+			}
+			return wire.Words(payload)
+		case wire.Done:
+			var done wire.DoneReply
+			if err := wire.Unmarshal(t, payload, &done); err != nil {
+				c.recvErr = err
+				return nil, err
+			}
+			c.result = &done
+			if done.Err != "" {
+				c.recvErr = fmt.Errorf("cohort client: session ended: %s", done.Err)
+				return nil, c.recvErr
+			}
+			return nil, io.EOF
+		default:
+			c.recvErr = fmt.Errorf("cohort client: unexpected %s frame in result stream", t)
+			return nil, c.recvErr
+		}
+	}
+}
+
+// Result returns the daemon's final session counters. Nil until Recv has
+// returned io.EOF (or a session-ended error).
+func (c *Conn) Result() *wire.DoneReply { return c.result }
+
+// Stream runs a whole job: sends in (concurrently), closes the outbound
+// stream, and collects every result word until the daemon's Done. It is the
+// one-call path for jobs whose output fits in memory.
+func (c *Conn) Stream(in []cohort.Word) ([]cohort.Word, *wire.DoneReply, error) {
+	sendErr := make(chan error, 1)
+	go func() {
+		// Chunked so neither end needs a frame buffer proportional to the job.
+		const chunk = 4096
+		for len(in) > 0 {
+			n := len(in)
+			if n > chunk {
+				n = chunk
+			}
+			if err := c.Send(in[:n]); err != nil {
+				sendErr <- err
+				return
+			}
+			in = in[n:]
+		}
+		sendErr <- c.CloseSend()
+	}()
+	var out []cohort.Word
+	var recvErr error
+	for {
+		ws, err := c.Recv()
+		if err != nil {
+			if err != io.EOF {
+				recvErr = err
+			}
+			break
+		}
+		out = append(out, ws...)
+	}
+	// The send goroutine cannot still be blocked: the daemon has sent Done,
+	// so its reader consumed (or discarded) everything we wrote.
+	if err := <-sendErr; err != nil && recvErr == nil {
+		recvErr = err
+	}
+	return out, c.result, recvErr
+}
+
+// Close releases the connection. A session whose stream was not finished
+// with CloseSend is killed by the daemon on disconnect.
+func (c *Conn) Close() error { return c.c.Close() }

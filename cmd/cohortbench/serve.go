@@ -3,10 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
-	"os"
-	"os/signal"
 	"sync"
-	"syscall"
 
 	"cohort"
 	"cohort/internal/bench"
@@ -72,10 +69,8 @@ func startServe(addr, experiment string, p bench.Params) (wait func(), err error
 	fmt.Printf("observability plane on http://%s (/metrics /trace /debug/pprof; observed point: %v q=%d)\n\n",
 		srv.Addr(), w, q)
 	return func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		fmt.Printf("experiments done; serving on http://%s until interrupted (Ctrl-C)\n", srv.Addr())
-		<-sig
-		srv.Close()
+		obsrv.AwaitShutdown(
+			fmt.Sprintf("experiments done; serving on http://%s until interrupted (Ctrl-C)", srv.Addr()),
+			func() { srv.Close() })
 	}, nil
 }

@@ -1,0 +1,167 @@
+// Command cohortd is the Cohort serving daemon: a fixed pool of accelerator
+// engine workers, time-multiplexed across remote tenant sessions by the
+// weighted-fair scheduler in internal/sched, fronted by the framed TCP
+// protocol in internal/wire. One connection carries one session; connect
+// with the cohort/client package.
+//
+// The observability plane (-http) serves /metrics with per-tenant labeled
+// session counters, /sessions with a JSON snapshot of live sessions, /trace
+// with the scheduler's flight-recorder ring, and /debug/pprof.
+//
+// -smoke runs a self-test instead of serving: it starts the daemon on a
+// loopback port, streams a SHA-256 job through a real client connection,
+// checks the digests against a local software run, and exits — the CI
+// end-to-end check for the whole serving stack.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"time"
+
+	"cohort"
+	"cohort/client"
+	"cohort/internal/obsrv"
+	"cohort/internal/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cohortd: ")
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7411", "serve the wire protocol on this TCP address")
+		engines     = flag.Int("engines", 2, "engine worker pool size")
+		quantum     = flag.Int("quantum", 32, "max blocks served per scheduling decision")
+		switchCost  = flag.Duration("switch-cost", 0, "modeled cohort_register CSR-swap cost per session switch")
+		maxSessions = flag.Int("max-sessions", 64, "admission control: max concurrently live sessions")
+		queueCap    = flag.Int("queue-cap", 4096, "default per-direction session queue capacity in words")
+		httpAddr    = flag.String("http", "", "serve /metrics, /sessions, /trace and /debug/pprof on this address (e.g. :9122)")
+		smoke       = flag.Bool("smoke", false, "run the loopback self-test and exit")
+	)
+	flag.Parse()
+
+	cfg := sched.Config{
+		Engines: *engines, Quantum: *quantum, SwitchCost: *switchCost,
+		MaxSessions: *maxSessions, QueueCap: *queueCap,
+	}
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := run(cfg, *listen, *httpAddr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg sched.Config, listen, httpAddr string) error {
+	reg := cohort.NewRegistry()
+	flight := cohort.NewFlightRecorder(4096)
+	cfg.Registry = reg
+	cfg.Trace = flight
+
+	s := sched.New(cfg)
+	sv := sched.NewServer(s, nil)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- sv.Serve(ln) }()
+
+	var web *obsrv.Server
+	if httpAddr != "" {
+		web = obsrv.New(obsrv.Options{
+			MetricsText: reg.WritePrometheus,
+			TraceJSON:   func(w io.Writer) error { return flight.WriteChrome(w, "cohortd") },
+			Sessions:    func() any { return s.Sessions() },
+		})
+		if err := web.Serve(httpAddr); err != nil {
+			sv.Close()
+			s.Close()
+			return err
+		}
+		fmt.Printf("observability plane on http://%s (/metrics /sessions /trace /debug/pprof)\n", web.Addr())
+	}
+
+	obsrv.AwaitShutdown(
+		fmt.Sprintf("serving %d engines on %s (quantum %d blocks) until interrupted (Ctrl-C)",
+			cfg.Engines, ln.Addr(), cfg.Quantum),
+		func() { sv.Close() },
+		func() { s.Close() },
+		func() {
+			if web != nil {
+				web.Close()
+			}
+		},
+	)
+	if err := <-serveErr; !errors.Is(err, sched.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runSmoke is the end-to-end self-test: real scheduler, real TCP listener,
+// real client, SHA-256 digests checked word for word against a local
+// software run of the same accelerator.
+func runSmoke(cfg sched.Config) error {
+	reg := cohort.NewRegistry()
+	cfg.Registry = reg
+	s := sched.New(cfg)
+	defer s.Close()
+	sv := sched.NewServer(s, nil)
+	defer sv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go sv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on the deferred Close
+
+	const blocks = 64
+	ref := cohort.NewSHA256()
+	in := make([]cohort.Word, blocks*ref.InWords())
+	for i := range in {
+		in[i] = cohort.Word(i)*2654435761 + 17
+	}
+	want := make([]cohort.Word, 0, blocks*ref.OutWords())
+	for b := 0; b < blocks; b++ {
+		ws, err := ref.Process(in[b*ref.InWords() : (b+1)*ref.InWords()])
+		if err != nil {
+			return err
+		}
+		want = append(want, ws...)
+	}
+
+	start := time.Now()
+	c, err := client.Connect(ln.Addr().String(), client.Options{Tenant: "smoke", Accel: "sha256"})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	got, res, err := c.Stream(in)
+	if err != nil {
+		return fmt.Errorf("smoke stream: %w", err)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("smoke: got %d digest words, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("smoke: digest word %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+	if res == nil || res.Blocks != blocks {
+		return fmt.Errorf("smoke: done reply %+v, want %d blocks", res, blocks)
+	}
+	if n := len(s.Sessions()); n != 0 {
+		return fmt.Errorf("smoke: %d sessions still live after done", n)
+	}
+	fmt.Printf("smoke ok: %d sha256 blocks round-tripped over %s in %v (session %d)\n",
+		blocks, ln.Addr(), time.Since(start).Round(time.Microsecond), c.Session())
+	return nil
+}

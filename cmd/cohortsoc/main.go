@@ -11,8 +11,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"cohort"
 	"cohort/internal/accel"
@@ -174,10 +172,8 @@ func main() {
 		if err := srv.Serve(*serveAddr); err != nil {
 			log.Fatal(err)
 		}
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		fmt.Printf("\nobservability plane on http://%s (/metrics /trace /debug/pprof) until interrupted (Ctrl-C)\n", srv.Addr())
-		<-sig
-		srv.Close()
+		obsrv.AwaitShutdown(
+			fmt.Sprintf("\nobservability plane on http://%s (/metrics /trace /debug/pprof) until interrupted (Ctrl-C)", srv.Addr()),
+			func() { srv.Close() })
 	}
 }

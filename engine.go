@@ -66,6 +66,7 @@ type Engine struct {
 	wakeups  atomic.Uint64
 	sleeps   atomic.Uint64
 	errs     atomic.Uint64
+	dropped  atomic.Uint64
 	errp     atomic.Pointer[error]
 
 	// histo is the drain→publish latency distribution, log2-bucketed in
@@ -286,6 +287,10 @@ func (e *Engine) run() {
 				bo.reset()
 				continue
 			}
+			if e.in.Drained() {
+				e.finishEOS(fill)
+				return
+			}
 			if !bo.wait(e.stop) {
 				return
 			}
@@ -363,6 +368,17 @@ func (e *Engine) runTraced(buf []Word, inW int, bo *backoff) {
 				bo.reset()
 				continue
 			}
+			if e.in.Drained() {
+				if idling {
+					name := "poll"
+					if e.sleeps.Load() != idleSleeps {
+						name = "backoff"
+					}
+					e.trk.SpanAt(name, idleStart, drainStart-idleStart)
+				}
+				e.finishEOS(fill)
+				return
+			}
 			if !idling {
 				idling = true
 				idleStart = drainStart
@@ -437,6 +453,21 @@ func (e *Engine) fail(err error) {
 	}
 }
 
+// finishEOS completes an end-of-stream shutdown: the producer closed the
+// input queue and it is now empty. Words of a partially assembled block are
+// dropped (the stream ended mid-block; counted in DroppedWords) and the end
+// of stream is propagated to the output queue — the engine is its producer —
+// so downstream consumers, chained engines included, observe it in turn.
+func (e *Engine) finishEOS(fill int) {
+	if fill > 0 {
+		e.dropped.Add(uint64(fill))
+	}
+	e.out.Close()
+	if e.trk != nil {
+		e.trk.Instant("eos")
+	}
+}
+
 // recordDrain files one sampled drain→publish latency into the histogram.
 func (e *Engine) recordDrain(start time.Time) {
 	ns := uint64(time.Since(start))
@@ -467,12 +498,21 @@ func (e *Engine) pushSliceStoppable(q *Fifo[Word], ws []Word) bool {
 
 // Unregister stops the engine (cohort_unregister). Like quiescing hardware,
 // callers should drain in-flight work first: words inside a partially
-// assembled block are dropped. Idempotent; returns once the engine goroutine
-// has exited (at most one backoff pause later).
+// assembled block are dropped. Prefer closing the input queue (Fifo.Close)
+// for a graceful finish — the engine then processes every complete block,
+// closes its output queue, and exits on its own. Idempotent, safe for
+// concurrent callers; returns once the engine goroutine has exited (at most
+// one backoff pause later).
 func (e *Engine) Unregister() {
 	e.once.Do(func() { close(e.stop) })
 	<-e.done
 }
+
+// Done returns a channel that is closed when the engine goroutine has exited
+// — after an Unregister, a terminal accelerator error, or a drained
+// end-of-stream input (Fifo.Close on the input queue). Waiting on it joins an
+// engine that finishes by draining, without forcing an Unregister.
+func (e *Engine) Done() <-chan struct{} { return e.done }
 
 // Err returns the terminal error that stopped the engine, or nil while it is
 // healthy. A non-nil error means the accelerator failed mid-stream and the
@@ -495,6 +535,7 @@ type EngineStats struct {
 	Wakeups       uint64 // drain iterations that found at least one block
 	BackoffSleeps uint64 // timer sleeps taken by the backoff unit
 	Errors        uint64 // accelerator Process failures (terminal; see Err)
+	DroppedWords  uint64 // partial-block words discarded at end of stream
 	// DrainNs is the sampled drain→publish latency distribution: the wall
 	// time from finding a block batch to its last output publication,
 	// measured on one in histoSampleEvery wakeups.
@@ -519,6 +560,7 @@ func (e *Engine) StatsDetail() EngineStats {
 		Wakeups:       e.wakeups.Load(),
 		BackoffSleeps: e.sleeps.Load(),
 		Errors:        e.errs.Load(),
+		DroppedWords:  e.dropped.Load(),
 	}
 	for i := range e.histo {
 		s.DrainNs.Buckets[i] = e.histo[i].Load()
@@ -534,6 +576,7 @@ func (e *Engine) ResetStats() {
 	e.wakeups.Store(0)
 	e.sleeps.Store(0)
 	e.errs.Store(0)
+	e.dropped.Store(0)
 	for i := range e.histo {
 		e.histo[i].Store(0)
 	}

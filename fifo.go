@@ -45,9 +45,16 @@ type Fifo[T any] struct {
 	cachedHead uint64 // producer's view of head
 	pushStalls uint64 // producer-owned: failed push attempts (queue full)
 	highWater  uint64 // producer-owned: max occupancy seen at publication
+	closedTx   bool   // producer-owned: Close was called (guards further pushes)
 	_          [64]byte
 	cachedTail uint64 // consumer's view of tail
 	popStalls  uint64 // consumer-owned: failed pop attempts (queue empty)
+	_          [64]byte
+
+	// closed is the consumer-visible end-of-stream flag. It is written once
+	// (by Close, on the producer side) and read by the consumer only on empty
+	// polls, so it lives on its own line to keep it off both hot paths.
+	closed atomic.Bool
 }
 
 // FifoStats is a snapshot of a queue's counters. Pushes and Pops fall out of
@@ -102,6 +109,46 @@ func NewFifo[T any](capacity int) (*Fifo[T], error) {
 // Cap returns the queue capacity.
 func (q *Fifo[T]) Cap() int { return len(q.buf) }
 
+// Close marks the producer side finished: an end-of-stream signal, not a
+// deallocation (the GC remains "fifo_deinit"). It belongs to the push side's
+// ownership domain — call it from the producer goroutine, after the last
+// push. Idempotent.
+//
+// Interaction with the rest of the API:
+//
+//   - Push-side calls (TryPush, Push, TryPushSlice, PushSlice, PushAll,
+//     WriteSegments) panic after Close: pushing into a finished stream is a
+//     programming error, and the guard is a producer-owned plain bool so the
+//     hot path pays one predictable branch.
+//   - Pop-side calls are unchanged and keep returning queued elements until
+//     the queue is empty. The blocking forms (Pop, PopSlice, PopN) do NOT
+//     unblock at end of stream — a consumer that must survive a producer
+//     finishing mid-read should loop on TryPopInto and check Drained on each
+//     empty poll, which is exactly what Engine does to drain cleanly instead
+//     of requiring an Unregister mid-stream.
+func (q *Fifo[T]) Close() {
+	if q.closedTx {
+		return
+	}
+	q.closedTx = true
+	q.closed.Store(true)
+}
+
+// Closed reports whether the producer has closed the queue. Elements may
+// still be pending; see Drained.
+func (q *Fifo[T]) Closed() bool { return q.closed.Load() }
+
+// Drained reports whether the stream is finished: the producer has closed
+// the queue and every element has been consumed. The closed flag is loaded
+// before the indices — nothing can be pushed after Close, so a true result
+// is final.
+func (q *Fifo[T]) Drained() bool {
+	if !q.closed.Load() {
+		return false
+	}
+	return q.tail.Load() == q.head.Load()
+}
+
 // Len returns the number of queued elements (approximate under concurrency).
 // The two index loads are not a snapshot, so the raw difference can transiently
 // fall outside the ring; the result is clamped to [0, Cap()].
@@ -116,8 +163,12 @@ func (q *Fifo[T]) Len() int {
 	return int(d)
 }
 
-// TryPush appends v if there is room and reports whether it did.
+// TryPush appends v if there is room and reports whether it did. Panics if
+// the producer side has been closed.
 func (q *Fifo[T]) TryPush(v T) bool {
+	if q.closedTx {
+		panic("cohort: push on closed fifo")
+	}
 	t := q.tail.Load()
 	if t-q.cachedHead >= uint64(len(q.buf)) {
 		q.cachedHead = q.head.Load()
@@ -199,6 +250,9 @@ func (q *Fifo[T]) PopN(n int) []T {
 // publishing the write index once for the whole run. It returns the number
 // of elements pushed (0 when the queue is full).
 func (q *Fifo[T]) TryPushSlice(vs []T) int {
+	if q.closedTx {
+		panic("cohort: push on closed fifo")
+	}
 	if len(vs) == 0 {
 		return 0
 	}
@@ -290,6 +344,9 @@ func (q *Fifo[T]) PopSlice(dst []T) {
 // producer-side call; publish what was written with CommitWrite. Producer
 // side only.
 func (q *Fifo[T]) WriteSegments() (a, b []T) {
+	if q.closedTx {
+		panic("cohort: push on closed fifo")
+	}
 	t := q.tail.Load()
 	q.cachedHead = q.head.Load()
 	free := uint64(len(q.buf)) - (t - q.cachedHead)

@@ -9,6 +9,7 @@
 //	/metrics        Prometheus text exposition (version 0.0.4)
 //	/healthz        JSON liveness per engine; 503 if any engine is unhealthy
 //	/trace          on-demand Chrome trace JSON dump (open in Perfetto)
+//	/sessions       JSON snapshot of live serving sessions (cohortd)
 //	/debug/pprof/*  standard Go profiling (CPU, heap, goroutine, ...)
 //
 // The package deliberately depends only on the standard library and is
@@ -25,7 +26,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -51,6 +55,9 @@ type Options struct {
 	TraceJSON func(w io.Writer) error
 	// Health snapshots component liveness for /healthz.
 	Health func() []Health
+	// Sessions snapshots live serving sessions for /sessions; the returned
+	// value is marshaled as indented JSON (e.g. []sched.SessionInfo).
+	Sessions func() any
 }
 
 // Server serves the observability endpoints over HTTP.
@@ -71,6 +78,7 @@ func New(opts Options) *Server {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/trace", s.trace)
+	mux.HandleFunc("/sessions", s.sessions)
 	mux.HandleFunc("/", s.index)
 	// net/http/pprof registers on DefaultServeMux at import; wire the
 	// handlers explicitly so this mux works standalone.
@@ -174,6 +182,17 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(body) //nolint:errcheck // response writer
 }
 
+func (s *Server) sessions(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Sessions == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.opts.Sessions()) //nolint:errcheck // response writer
+}
+
 // index is a minimal landing page listing the endpoints.
 func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -181,5 +200,22 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "cohort observability\n\n/metrics\n/healthz\n/trace\n/debug/pprof/\n") //nolint:errcheck
+	io.WriteString(w, "cohort observability\n\n/metrics\n/healthz\n/trace\n/sessions\n/debug/pprof/\n") //nolint:errcheck
+}
+
+// AwaitShutdown is the shared daemon exit path: print banner (when
+// non-empty), block until SIGINT or SIGTERM, then run each shutdown hook in
+// order. Every cmd/ daemon funnels through here so signal handling is wired
+// — and behaves — identically across them.
+func AwaitShutdown(banner string, shutdown ...func()) {
+	if banner != "" {
+		fmt.Println(banner)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	signal.Stop(sig)
+	for _, fn := range shutdown {
+		fn()
+	}
 }

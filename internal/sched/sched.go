@@ -1,0 +1,735 @@
+// Package sched is the multi-tenant serving layer over the native Cohort
+// runtime: a session manager plus a weighted-fair scheduler that
+// time-multiplexes a fixed pool of engine workers across tenant sessions.
+//
+// The paper's software-flexibility claim (§4.3/§4.4) is that because Cohort
+// queues are ordinary shared memory, the OS — not hardware — can schedule,
+// share and virtualize accelerators across processes: cohort_register binds a
+// process's queue pair to an engine, and re-registering swaps the engine's
+// CSR state to another process. This package is that claim made concrete in
+// software. Each tenant Registers a session — an (in, out) Fifo pair, an
+// accelerator instance carrying the tenant's CSR configuration, a weight and
+// an optional block quota — and a pool of engine workers serves sessions in
+// block-granular quanta picked by stride scheduling (each session accrues
+// virtual time in blocks÷weight; the runnable session with the least virtual
+// time runs next). Swapping a worker from one session to another charges a
+// modeled context-switch cost, mirroring the per-process CSR-swap path of
+// cohort_register.
+//
+// Properties the scheduler maintains:
+//
+//   - Weighted fairness: backlogged sessions complete blocks in proportion
+//     to their weights (a 2:1 weight pair converges to a 2:1 block ratio).
+//   - No starvation: a backlogged session's virtual time eventually falls
+//     below every saturating competitor's, so it is served every few
+//     scheduling rounds no matter how aggressive the others are.
+//   - Per-tenant backpressure: a session is only dispatched when its output
+//     queue has room for at least one block, so one slow consumer parks its
+//     own session instead of wedging an engine worker; a full input queue
+//     likewise pushes back on that producer alone (the daemon stops reading
+//     that connection's socket).
+//   - Admission control: Register fails once MaxSessions sessions are live.
+//   - Clean teardown: closing a session's input queue (Fifo.Close) lets the
+//     scheduler finish every complete block, drop trailing partial words,
+//     close the output queue, and retire the session — unregistering its
+//     metrics and waking anyone blocked on Done.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cohort"
+)
+
+// Sentinel errors surfaced by Register and Session.Err.
+var (
+	// ErrClosed: the scheduler has been closed.
+	ErrClosed = errors.New("sched: scheduler closed")
+	// ErrTooManySessions: admission control rejected the registration.
+	ErrTooManySessions = errors.New("sched: too many sessions")
+	// ErrQuotaExceeded: the session consumed its block quota and was retired.
+	ErrQuotaExceeded = errors.New("sched: block quota exceeded")
+	// ErrKilled: the session was torn down by Kill (e.g. its connection
+	// dropped) before its stream finished.
+	ErrKilled = errors.New("sched: session killed")
+)
+
+// Config tunes a Scheduler. The zero value serves with one engine worker,
+// 32-block quanta, no modeled switch cost, 64-session admission and
+// 1024-word session queues.
+type Config struct {
+	// Engines is the worker-pool size: how many accelerator engines the
+	// service multiplexes sessions onto (default 1).
+	Engines int
+	// Quantum is the largest number of blocks one scheduling decision serves
+	// before the engine re-arbitrates (default 32). Smaller quanta interleave
+	// finer; larger quanta amortize the switch cost over more work.
+	Quantum int
+	// SwitchCost is the modeled cohort_register CSR-swap cost, charged (as a
+	// real sleep) whenever a worker swaps from one session to another.
+	SwitchCost time.Duration
+	// MaxSessions bounds concurrently live sessions (default 64).
+	MaxSessions int
+	// QueueCap is the default per-direction session queue capacity in words
+	// (default 1024); SessionConfig.QueueCap overrides per session.
+	QueueCap int
+	// Registry, when non-nil, receives one labeled metric source per session
+	// (registered at admission, unregistered at retirement) plus a "sched"
+	// source for the scheduler's own counters.
+	Registry *cohort.Registry
+	// Trace, when non-nil, records scheduler activity: admit/retire instants
+	// on the "sched" track and per-decision serve/swap spans on one
+	// "sched/w<i>" track per worker. Both *cohort.Trace (unbounded, for lab
+	// runs) and *cohort.FlightRecorder (ring-buffered, for long-running
+	// daemons) satisfy Tracer.
+	Trace Tracer
+}
+
+// Tracer is the track factory a scheduler records onto — the method shared
+// by cohort.Trace and cohort.FlightRecorder.
+type Tracer interface {
+	Track(name string) *cohort.TraceTrack
+}
+
+// SessionConfig describes one tenant registration.
+type SessionConfig struct {
+	// Tenant names the owning tenant (shown in metrics labels, traces and
+	// /sessions; need not be unique — a tenant may hold several sessions).
+	Tenant string
+	// Accel is the session's accelerator instance. Sessions must not share
+	// instances: the accelerator carries the tenant's CSR state and is
+	// invoked by whichever worker currently serves the session (never by two
+	// at once).
+	Accel cohort.Accelerator
+	// CSR, when non-nil, is passed to Accel.Configure at registration — the
+	// per-process CSR image that cohort_register installs.
+	CSR []byte
+	// Weight is the session's fair-share weight (default 1; must be >= 0).
+	Weight int
+	// Quota, when non-zero, caps the total blocks the session may consume;
+	// on exhaustion the session is retired with ErrQuotaExceeded.
+	Quota uint64
+	// QueueCap overrides Config.QueueCap for this session's two queues.
+	QueueCap int
+	// In and Out, when non-nil, are caller-supplied queues — the tenant's
+	// existing Fifo pair, Table 1's queue descriptors handed to
+	// cohort_register. When nil, fresh queues of QueueCap words are
+	// allocated. A supplied In may already hold words (or even be closed):
+	// the session starts with that backlog.
+	In, Out *cohort.Fifo[cohort.Word]
+}
+
+// SessionStats is a snapshot of one session's counters.
+type SessionStats struct {
+	Blocks       uint64 // accelerator blocks completed
+	WordsIn      uint64 // words consumed from the session input queue
+	WordsOut     uint64 // words produced into the session output queue
+	Quanta       uint64 // scheduling quanta in which the session ran
+	Switches     uint64 // times a worker swapped onto this session
+	DroppedWords uint64 // trailing partial-block words dropped at end of stream
+}
+
+// SessionInfo is one live session's row in the /sessions JSON document.
+type SessionInfo struct {
+	ID           uint64  `json:"id"`
+	Tenant       string  `json:"tenant"`
+	Accel        string  `json:"accel"`
+	Weight       int     `json:"weight"`
+	Quota        uint64  `json:"quota,omitempty"`
+	Pass         float64 `json:"pass"`
+	Blocks       uint64  `json:"blocks"`
+	WordsIn      uint64  `json:"words_in"`
+	WordsOut     uint64  `json:"words_out"`
+	Quanta       uint64  `json:"quanta"`
+	Switches     uint64  `json:"switches"`
+	DroppedWords uint64  `json:"dropped_words,omitempty"`
+	InQueued     int     `json:"in_queued"`
+	OutQueued    int     `json:"out_queued"`
+	InClosed     bool    `json:"in_closed,omitempty"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// Session is one tenant's live binding to the service: a queue pair, an
+// accelerator, a weight and the scheduler bookkeeping around them. Producers
+// push words into In and read results from Out exactly as they would around a
+// dedicated Engine — the scheduling is invisible apart from timing.
+type Session struct {
+	id     uint64
+	tenant string
+	weight int
+	quota  uint64
+	acc    cohort.Accelerator
+	in     *cohort.Fifo[cohort.Word]
+	out    *cohort.Fifo[cohort.Word]
+	inW    int
+	outW   int
+	buf    []cohort.Word
+	sch    *Scheduler
+
+	// Scheduler state, guarded by Scheduler.mu.
+	pass    float64
+	serving bool
+	retired bool
+
+	killed atomic.Bool
+	done   chan struct{}
+	errp   atomic.Pointer[error]
+
+	blocks   atomic.Uint64
+	wordsIn  atomic.Uint64
+	wordsOut atomic.Uint64
+	quanta   atomic.Uint64
+	switches atomic.Uint64
+	dropped  atomic.Uint64
+
+	// Precomputed names so the serve loop never formats.
+	serveSpan  string
+	metricName string
+}
+
+// ID returns the scheduler-assigned session id.
+func (ss *Session) ID() uint64 { return ss.id }
+
+// Tenant returns the registering tenant's name.
+func (ss *Session) Tenant() string { return ss.tenant }
+
+// In returns the session's input queue. The registering tenant is its sole
+// producer.
+func (ss *Session) In() *cohort.Fifo[cohort.Word] { return ss.in }
+
+// Out returns the session's output queue. The registering tenant is its sole
+// consumer.
+func (ss *Session) Out() *cohort.Fifo[cohort.Word] { return ss.out }
+
+// CloseSend signals end of stream on the session input (Fifo.Close): the
+// scheduler finishes every complete block already queued, drops trailing
+// partial words, closes Out, and retires the session. Call from the producer
+// goroutine after the last push.
+func (ss *Session) CloseSend() {
+	ss.in.Close()
+	ss.sch.kickWorkers()
+}
+
+// Kill forcibly tears the session down: queued input is discarded, Out is
+// closed, and the session retires with ErrKilled (unless its stream already
+// finished cleanly). Safe from any goroutine; idempotent.
+func (ss *Session) Kill() {
+	ss.killed.Store(true)
+	ss.sch.kickWorkers()
+}
+
+// Done returns a channel closed when the session has fully retired: its
+// output queue is closed and its metrics are unregistered.
+func (ss *Session) Done() <-chan struct{} { return ss.done }
+
+// Err returns why the session retired: nil for a clean end of stream (or a
+// still-live session), ErrKilled, ErrQuotaExceeded, or the accelerator's
+// terminal processing error.
+func (ss *Session) Err() error {
+	if p := ss.errp.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// fail records the session's terminal error; the first error wins.
+func (ss *Session) fail(err error) {
+	ss.errp.CompareAndSwap(nil, &err)
+}
+
+// Stats snapshots the session's counters.
+func (ss *Session) Stats() SessionStats {
+	return SessionStats{
+		Blocks:       ss.blocks.Load(),
+		WordsIn:      ss.wordsIn.Load(),
+		WordsOut:     ss.wordsOut.Load(),
+		Quanta:       ss.quanta.Load(),
+		Switches:     ss.switches.Load(),
+		DroppedWords: ss.dropped.Load(),
+	}
+}
+
+// Scheduler multiplexes tenant sessions onto a fixed pool of engine workers.
+// Create with New; admit tenants with Register; stop with Close.
+type Scheduler struct {
+	cfg  Config
+	stop chan struct{}
+	kick chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	schedTrk   *cohort.TraceTrack   // admit/retire instants; guarded by mu
+	workerTrks []*cohort.TraceTrack // one per worker, single-writer each
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   uint64
+	vtime    float64 // virtual time: pass of the most recently dispatched session
+	sessions map[uint64]*Session
+
+	decisions  atomic.Uint64
+	swaps      atomic.Uint64
+	admitted   atomic.Uint64
+	rejections atomic.Uint64
+	retirals   atomic.Uint64
+}
+
+// New starts a scheduler with cfg's worker pool. Close it when done.
+func New(cfg Config) *Scheduler {
+	if cfg.Engines < 1 {
+		cfg.Engines = 1
+	}
+	if cfg.Quantum < 1 {
+		cfg.Quantum = 32
+	}
+	if cfg.MaxSessions < 1 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 1024
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		stop:     make(chan struct{}),
+		kick:     make(chan struct{}, 1),
+		sessions: make(map[uint64]*Session),
+	}
+	if cfg.Trace != nil {
+		s.schedTrk = cfg.Trace.Track("sched")
+		s.workerTrks = make([]*cohort.TraceTrack, cfg.Engines)
+		for i := range s.workerTrks {
+			s.workerTrks[i] = cfg.Trace.Track(fmt.Sprintf("sched/w%d", i))
+		}
+	}
+	if cfg.Registry != nil {
+		cfg.Registry.Register("sched", func() []cohort.Metric {
+			s.mu.Lock()
+			live := uint64(len(s.sessions))
+			s.mu.Unlock()
+			return []cohort.Metric{
+				{Name: "decisions", Value: s.decisions.Load()},
+				{Name: "swaps", Value: s.swaps.Load()},
+				{Name: "admitted", Value: s.admitted.Load()},
+				{Name: "rejected", Value: s.rejections.Load()},
+				{Name: "retired", Value: s.retirals.Load()},
+				{Name: "sessions", Value: live},
+			}
+		})
+	}
+	for i := 0; i < cfg.Engines; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+// Register admits a tenant session — the service-level cohort_register. It
+// allocates the session's queue pair, installs the CSR configuration, joins
+// the session at the scheduler's current virtual time (so it competes fairly
+// from its first block, with no credit for its idle past), and exposes its
+// counters as a tenant-labeled metric source.
+func (s *Scheduler) Register(cfg SessionConfig) (*Session, error) {
+	if cfg.Accel == nil {
+		return nil, fmt.Errorf("sched: register %q: nil accelerator", cfg.Tenant)
+	}
+	if cfg.Accel.InWords() < 1 || cfg.Accel.OutWords() < 0 {
+		return nil, fmt.Errorf("sched: register %q: accelerator %s has invalid block ratio %d:%d",
+			cfg.Tenant, cfg.Accel.Name(), cfg.Accel.InWords(), cfg.Accel.OutWords())
+	}
+	if cfg.Weight < 0 {
+		return nil, fmt.Errorf("sched: register %q: negative weight %d", cfg.Tenant, cfg.Weight)
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 1
+	}
+	qcap := cfg.QueueCap
+	if qcap < 1 {
+		qcap = s.cfg.QueueCap
+	}
+	if qcap < cfg.Accel.InWords() || (cfg.Accel.OutWords() > 0 && qcap < cfg.Accel.OutWords()) {
+		return nil, fmt.Errorf("sched: register %q: queue capacity %d below block size", cfg.Tenant, qcap)
+	}
+	if cfg.CSR != nil {
+		if err := cfg.Accel.Configure(cfg.CSR); err != nil {
+			return nil, fmt.Errorf("sched: configure %q: %w", cfg.Tenant, err)
+		}
+	}
+	in, out := cfg.In, cfg.Out
+	if in == nil {
+		var err error
+		if in, err = cohort.NewFifo[cohort.Word](qcap); err != nil {
+			return nil, err
+		}
+	}
+	if out == nil {
+		var err error
+		if out, err = cohort.NewFifo[cohort.Word](qcap); err != nil {
+			return nil, err
+		}
+	}
+	if in.Cap() < cfg.Accel.InWords() || (cfg.Accel.OutWords() > 0 && out.Cap() < cfg.Accel.OutWords()) {
+		return nil, fmt.Errorf("sched: register %q: supplied queue capacity below block size", cfg.Tenant)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.rejections.Add(1)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d live, max %d)", ErrTooManySessions, s.cfg.MaxSessions, s.cfg.MaxSessions)
+	}
+	s.nextID++
+	ss := &Session{
+		id: s.nextID, tenant: cfg.Tenant, weight: cfg.Weight, quota: cfg.Quota,
+		acc: cfg.Accel, in: in, out: out,
+		inW: cfg.Accel.InWords(), outW: cfg.Accel.OutWords(),
+		buf:  make([]cohort.Word, s.cfg.Quantum*cfg.Accel.InWords()),
+		sch:  s,
+		pass: s.vtime,
+		done: make(chan struct{}),
+	}
+	ss.serveSpan = fmt.Sprintf("serve:%s#%d", ss.tenant, ss.id)
+	ss.metricName = fmt.Sprintf("session/%s#%d", ss.tenant, ss.id)
+	s.sessions[ss.id] = ss
+	s.admitted.Add(1)
+	if s.schedTrk != nil {
+		s.schedTrk.Instant("admit:" + ss.tenant)
+	}
+	// Metrics register before mu is released: retire (which unregisters)
+	// cannot run for this session until it is observable, so the source can
+	// never be registered after its own unregistration. Lock order is
+	// s.mu → Registry.mu only; registry snapshots poll sources outside the
+	// registry lock, so there is no inversion.
+	if reg := s.cfg.Registry; reg != nil {
+		labels := []cohort.Label{
+			{Key: "tenant", Value: ss.tenant},
+			{Key: "session", Value: fmt.Sprintf("%d", ss.id)},
+		}
+		reg.RegisterLabeled(ss.metricName, labels, func() []cohort.Metric {
+			st := ss.Stats()
+			return []cohort.Metric{
+				{Name: "blocks", Value: st.Blocks},
+				{Name: "words_in", Value: st.WordsIn},
+				{Name: "words_out", Value: st.WordsOut},
+				{Name: "quanta", Value: st.Quanta},
+				{Name: "switches", Value: st.Switches},
+				{Name: "dropped_words", Value: st.DroppedWords},
+				{Name: "weight", Value: uint64(ss.weight)},
+				{Name: "in_queued", Value: uint64(ss.in.Len())},
+				{Name: "out_queued", Value: uint64(ss.out.Len())},
+			}
+		})
+	}
+	s.mu.Unlock()
+	s.kickWorkers()
+	return ss, nil
+}
+
+// Sessions snapshots every live session, sorted by id — the /sessions
+// payload.
+func (s *Scheduler) Sessions() []SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		st := ss.Stats()
+		info := SessionInfo{
+			ID: ss.id, Tenant: ss.tenant, Accel: ss.acc.Name(),
+			Weight: ss.weight, Quota: ss.quota, Pass: ss.pass,
+			Blocks: st.Blocks, WordsIn: st.WordsIn, WordsOut: st.WordsOut,
+			Quanta: st.Quanta, Switches: st.Switches, DroppedWords: st.DroppedWords,
+			InQueued: ss.in.Len(), OutQueued: ss.out.Len(), InClosed: ss.in.Closed(),
+		}
+		if err := ss.Err(); err != nil {
+			info.Err = err.Error()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Close stops the scheduler: workers are joined, every live session is
+// retired with ErrClosed (queued input discarded, output queues closed, Done
+// channels closed), and the scheduler's metric source is removed. Idempotent.
+func (s *Scheduler) Close() {
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.stop)
+		s.wg.Wait()
+		s.mu.Lock()
+		live := make([]*Session, 0, len(s.sessions))
+		for _, ss := range s.sessions {
+			live = append(live, ss)
+		}
+		s.mu.Unlock()
+		for _, ss := range live {
+			ss.fail(ErrClosed)
+			s.retire(ss)
+		}
+		if s.cfg.Registry != nil {
+			s.cfg.Registry.Unregister("sched")
+		}
+	})
+}
+
+// kickWorkers wakes an idle worker promptly (non-blocking; a single pending
+// kick is enough since every worker rescans the session table).
+func (s *Scheduler) kickWorkers() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// readyLocked reports whether the session has schedulable work: a complete
+// input block with output room, or lifecycle work (kill, end-of-stream
+// drain/retire). Caller holds s.mu.
+func (ss *Session) readyLocked() bool {
+	if ss.serving || ss.retired {
+		return false
+	}
+	if ss.killed.Load() {
+		return true
+	}
+	if ss.in.Closed() {
+		return true // drain remaining blocks, drop the partial tail, retire
+	}
+	if ss.in.Len() < ss.inW {
+		return false
+	}
+	// Backpressure: dispatch only with room for at least one output block,
+	// so a slow consumer parks its own session rather than an engine worker.
+	return ss.outW == 0 || ss.out.Cap()-ss.out.Len() >= ss.outW
+}
+
+// pick dispatches the runnable session with the least virtual time (stride
+// scheduling). A session rejoining after idling is floored to the current
+// virtual time: fairness shares the future, it does not repay the past.
+func (s *Scheduler) pick() *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Session
+	for _, ss := range s.sessions {
+		if !ss.readyLocked() {
+			continue
+		}
+		if best == nil || ss.pass < best.pass || (ss.pass == best.pass && ss.id < best.id) {
+			best = ss
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.serving = true
+	if best.pass > s.vtime {
+		s.vtime = best.pass
+	} else {
+		best.pass = s.vtime
+	}
+	s.decisions.Add(1)
+	return best
+}
+
+// finishServe returns a dispatched session to the runnable pool, charging its
+// virtual time for the blocks served; a session that reached its quota is
+// retired here.
+func (s *Scheduler) finishServe(ss *Session, blocks int) {
+	s.mu.Lock()
+	ss.serving = false
+	if blocks > 0 {
+		ss.pass += float64(blocks) / float64(ss.weight)
+		ss.quanta.Add(1)
+	}
+	quotaDone := ss.quota > 0 && ss.blocks.Load() >= ss.quota
+	s.mu.Unlock()
+	if quotaDone {
+		ss.fail(ErrQuotaExceeded)
+		s.retire(ss)
+	}
+}
+
+// retire removes a session from service: it leaves the table, its metrics
+// unregister, its output queue closes (ending the consumer's stream) and its
+// Done channel closes. Safe to call with the session marked serving (the
+// caller is the worker holding it) or from Close with workers joined.
+func (s *Scheduler) retire(ss *Session) {
+	s.mu.Lock()
+	if ss.retired {
+		s.mu.Unlock()
+		return
+	}
+	ss.retired = true
+	ss.serving = false
+	delete(s.sessions, ss.id)
+	s.retirals.Add(1)
+	if s.schedTrk != nil {
+		s.schedTrk.Instant("retire:" + ss.tenant)
+	}
+	s.mu.Unlock()
+	if s.cfg.Registry != nil {
+		s.cfg.Registry.Unregister(ss.metricName)
+	}
+	ss.out.Close()
+	close(ss.done)
+}
+
+// worker is one engine of the pool: pick the fairest runnable session, swap
+// onto it (charging the modeled CSR-swap cost when it differs from the last
+// session served), serve one quantum, repeat. With no runnable session the
+// worker parks on the kick channel with a capped exponential backoff.
+func (s *Scheduler) worker(i int) {
+	defer s.wg.Done()
+	var trk *cohort.TraceTrack
+	if s.workerTrks != nil {
+		trk = s.workerTrks[i]
+	}
+	var lastID uint64
+	idle := 50 * time.Microsecond
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		ss := s.pick()
+		if ss == nil {
+			select {
+			case <-s.stop:
+				return
+			case <-s.kick:
+			case <-time.After(idle):
+				if idle < 2*time.Millisecond {
+					idle *= 2
+				}
+			}
+			continue
+		}
+		idle = 50 * time.Microsecond
+		if ss.id != lastID {
+			ss.switches.Add(1)
+			s.swaps.Add(1)
+			if s.cfg.SwitchCost > 0 {
+				var t0 uint64
+				if trk != nil {
+					t0 = trk.Begin()
+				}
+				time.Sleep(s.cfg.SwitchCost)
+				if trk != nil {
+					trk.End("swap", t0)
+				}
+			}
+			lastID = ss.id
+		}
+		s.serveQuantum(trk, ss)
+	}
+}
+
+// serveQuantum runs one scheduling decision for a dispatched session: drain
+// up to Quantum complete blocks from its input queue (one read-index
+// publication for the run), process them through the session's accelerator,
+// publish the results, and handle lifecycle edges (kill, quota, end of
+// stream, accelerator failure).
+func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session) {
+	if ss.killed.Load() {
+		ss.fail(ErrKilled)
+		s.retire(ss)
+		return
+	}
+	inW := ss.inW
+	a, b := ss.in.ReadSegments()
+	avail := len(a) + len(b)
+	blocks := avail / inW
+	if blocks > s.cfg.Quantum {
+		blocks = s.cfg.Quantum
+	}
+	if ss.quota > 0 {
+		if rem := ss.quota - ss.blocks.Load(); uint64(blocks) > rem {
+			blocks = int(rem)
+		}
+	}
+	if ss.outW > 0 {
+		if room := (ss.out.Cap() - ss.out.Len()) / ss.outW; blocks > room {
+			blocks = room
+		}
+	}
+	if blocks == 0 {
+		if ss.in.Closed() && avail < inW {
+			if avail > 0 {
+				// The stream ended mid-block: drop the partial tail.
+				ss.in.CommitRead(avail)
+				ss.dropped.Add(uint64(avail))
+			}
+			if ss.in.Drained() {
+				s.retire(ss)
+				return
+			}
+		}
+		s.finishServe(ss, 0)
+		return
+	}
+
+	var t0 uint64
+	if trk != nil {
+		t0 = trk.Begin()
+	}
+	n := blocks * inW
+	c := copy(ss.buf[:n], a)
+	copy(ss.buf[c:n], b)
+	ss.in.CommitRead(n)
+	ss.wordsIn.Add(uint64(n))
+	for blk := 0; blk < blocks; blk++ {
+		res, err := ss.acc.Process(ss.buf[blk*inW : (blk+1)*inW])
+		if err != nil {
+			ss.fail(fmt.Errorf("sched: accelerator %s failed for tenant %s: %w", ss.acc.Name(), ss.tenant, err))
+			s.retire(ss)
+			return
+		}
+		if !s.pushOut(ss, res) {
+			ss.fail(ErrKilled)
+			s.retire(ss)
+			return
+		}
+		ss.wordsOut.Add(uint64(len(res)))
+		ss.blocks.Add(1)
+	}
+	if trk != nil {
+		trk.End(ss.serveSpan, t0)
+	}
+	s.finishServe(ss, blocks)
+}
+
+// pushOut publishes one block's results into the session output queue. The
+// backpressure clamp in serveQuantum guarantees room in the common case; the
+// loop only spins when an accelerator produces more than its declared
+// OutWords, and still gives up if the session is killed or the scheduler
+// stops.
+func (s *Scheduler) pushOut(ss *Session, ws []cohort.Word) bool {
+	for len(ws) > 0 {
+		n := ss.out.TryPushSlice(ws)
+		ws = ws[n:]
+		if len(ws) > 0 && n == 0 {
+			if ss.killed.Load() {
+				return false
+			}
+			select {
+			case <-s.stop:
+				return false
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+	return true
+}

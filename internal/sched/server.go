@@ -1,0 +1,276 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cohort"
+	"cohort/internal/wire"
+)
+
+// AccelFactory builds a fresh accelerator instance for one session. Each
+// session needs its own instance because the instance carries the tenant's
+// CSR state and reused output buffers.
+type AccelFactory func() (cohort.Accelerator, error)
+
+// Catalog maps wire-protocol accelerator names to factories — the set of
+// engine types a daemon offers.
+type Catalog map[string]AccelFactory
+
+// DefaultCatalog serves the built-in fixed-function accelerators.
+func DefaultCatalog() Catalog {
+	return Catalog{
+		"null":      func() (cohort.Accelerator, error) { return cohort.NewNull(), nil },
+		"sha256":    func() (cohort.Accelerator, error) { return cohort.NewSHA256(), nil },
+		"aes128":    func() (cohort.Accelerator, error) { return cohort.NewAES128(), nil },
+		"aes128dec": func() (cohort.Accelerator, error) { return cohort.NewAES128Decrypt(), nil },
+	}
+}
+
+// Server exposes a Scheduler over the wire protocol: one TCP connection per
+// session. The reader half of each connection feeds the session input queue
+// (a full queue stops the socket read — per-tenant backpressure reaches all
+// the way back to the remote producer via TCP flow control); the writer half
+// streams results out as the scheduler completes them and finishes with a
+// Done frame carrying the session's counters.
+type Server struct {
+	sch     *Scheduler
+	catalog Catalog
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer wraps sch. A nil catalog means DefaultCatalog.
+func NewServer(sch *Scheduler, catalog Catalog) *Server {
+	if catalog == nil {
+		catalog = DefaultCatalog()
+	}
+	return &Server{sch: sch, catalog: catalog, conns: make(map[net.Conn]struct{})}
+}
+
+// ErrServerClosed is returned by Serve after Close, mirroring net/http.
+var ErrServerClosed = errors.New("sched: server closed")
+
+// Serve accepts connections on ln until Close. It always returns a non-nil
+// error: ErrServerClosed after a clean Close, the accept error otherwise.
+func (sv *Server) Serve(ln net.Listener) error {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	sv.ln = ln
+	sv.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			sv.mu.Lock()
+			closed := sv.closed
+			sv.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		sv.mu.Lock()
+		if sv.closed {
+			sv.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		sv.conns[c] = struct{}{}
+		sv.wg.Add(1)
+		sv.mu.Unlock()
+		go sv.handle(c)
+	}
+}
+
+// Close stops accepting, closes every live connection (their sessions are
+// killed), and waits for the handlers to drain. It does not close the
+// Scheduler — the owner may front it with several listeners.
+func (sv *Server) Close() error {
+	sv.mu.Lock()
+	sv.closed = true
+	ln := sv.ln
+	for c := range sv.conns {
+		c.Close()
+	}
+	sv.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	sv.wg.Wait()
+	return err
+}
+
+func (sv *Server) forget(c net.Conn) {
+	sv.mu.Lock()
+	delete(sv.conns, c)
+	sv.mu.Unlock()
+}
+
+// handle owns one connection: admit the session, pump the two directions,
+// tear down. The handler goroutine is the socket reader; it spawns one
+// writer goroutine for the result stream.
+func (sv *Server) handle(c net.Conn) {
+	defer sv.wg.Done()
+	defer sv.forget(c)
+	defer c.Close()
+
+	fr := wire.NewReader(c)
+	fw := wire.NewWriter(c)
+
+	t, payload, err := fr.Next()
+	if err != nil || t != wire.Open {
+		// Not worth an Error frame on a half-open probe; just drop it.
+		return
+	}
+	var req wire.OpenRequest
+	if err := wire.Unmarshal(t, payload, &req); err != nil {
+		fw.JSON(wire.Error, wire.ErrorReply{Message: err.Error()})
+		return
+	}
+	factory, ok := sv.catalog[req.Accel]
+	if !ok {
+		fw.JSON(wire.Error, wire.ErrorReply{Message: fmt.Sprintf("unknown accelerator %q", req.Accel)})
+		return
+	}
+	acc, err := factory()
+	if err != nil {
+		fw.JSON(wire.Error, wire.ErrorReply{Message: err.Error()})
+		return
+	}
+	ss, err := sv.sch.Register(SessionConfig{
+		Tenant: req.Tenant, Accel: acc, CSR: req.CSR,
+		Weight: req.Weight, Quota: req.Quota, QueueCap: req.QueueCap,
+	})
+	if err != nil {
+		fw.JSON(wire.Error, wire.ErrorReply{Message: err.Error()})
+		return
+	}
+	if err := fw.JSON(wire.OpenOK, wire.OpenReply{
+		Session: ss.ID(), InWords: acc.InWords(), OutWords: acc.OutWords(),
+	}); err != nil {
+		ss.Kill()
+		return
+	}
+
+	// Result pump. It owns the connection's write side from here on and is
+	// the one that closes the connection: Done is always the final frame.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		sv.pumpResults(c, ss)
+	}()
+
+	closeSent := sv.readStream(fr, ss)
+	if !closeSent {
+		// The producer vanished mid-stream: discard its session.
+		ss.Kill()
+	}
+	<-writerDone
+}
+
+// readStream feeds inbound Data frames into the session input queue until
+// CloseSend, a protocol violation, or a dead connection. Reports whether the
+// client ended its stream deliberately.
+func (sv *Server) readStream(fr *wire.Reader, ss *Session) bool {
+	for {
+		t, payload, err := fr.Next()
+		if err != nil {
+			return false
+		}
+		switch t {
+		case wire.Data:
+			if !sv.pushWords(ss, payload) {
+				return false
+			}
+		case wire.CloseSend:
+			ss.CloseSend()
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// pushWords moves one Data payload into the session input queue. When the
+// queue is full it waits — not reading the socket is exactly how per-tenant
+// backpressure propagates to the remote producer. Gives up once the session
+// is retired (quota, kill): the remaining stream has nowhere to go.
+func (sv *Server) pushWords(ss *Session, payload []byte) bool {
+	ws, err := wire.Words(payload)
+	if err != nil {
+		return false
+	}
+	for len(ws) > 0 {
+		n := ss.In().TryPushSlice(ws)
+		ws = ws[n:]
+		if n > 0 {
+			sv.sch.kickWorkers()
+			continue
+		}
+		select {
+		case <-ss.Done():
+			return false
+		case <-sv.sch.stop:
+			return false
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	return true
+}
+
+// pumpResults streams the session output queue to the client as Data
+// frames, then sends the final Done frame and closes the connection. The
+// output queue is closed by the scheduler at retirement, so draining it is
+// the handler's retirement barrier.
+func (sv *Server) pumpResults(c net.Conn, ss *Session) {
+	fw := wire.NewWriter(c)
+	buf := make([]cohort.Word, 4096)
+	idle := 50 * time.Microsecond
+	for {
+		n := ss.Out().TryPopInto(buf)
+		if n > 0 {
+			idle = 50 * time.Microsecond
+			if err := fw.Words(buf[:n]); err != nil {
+				// Client stopped reading; results are undeliverable.
+				ss.Kill()
+				return
+			}
+			continue
+		}
+		if ss.Out().Drained() {
+			break
+		}
+		select {
+		case <-sv.sch.stop:
+			return
+		case <-time.After(idle):
+			if idle < 2*time.Millisecond {
+				idle *= 2
+			}
+		}
+	}
+	st := ss.Stats()
+	done := wire.DoneReply{
+		Blocks: st.Blocks, WordsIn: st.WordsIn, WordsOut: st.WordsOut,
+		DroppedWords: st.DroppedWords,
+	}
+	if err := ss.Err(); err != nil {
+		done.Err = err.Error()
+	}
+	fw.JSON(wire.Done, done)
+	// Closing here (not in handle) makes Done reliably the last thing the
+	// client sees even while the reader half is still parked in a read.
+	c.Close()
+}

@@ -1,0 +1,185 @@
+package sched_test
+
+// Loopback tests for the wire protocol stack: real TCP listener, real
+// client package, real scheduler underneath. External test package so the
+// tests exercise exactly the surface a remote tenant gets.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cohort"
+	"cohort/client"
+	"cohort/internal/sched"
+)
+
+// startServer brings up a scheduler+server on a loopback port and returns
+// the dial address. Everything is torn down via t.Cleanup.
+func startServer(t *testing.T, cfg sched.Config) (*sched.Scheduler, string) {
+	t.Helper()
+	s := sched.New(cfg)
+	sv := sched.NewServer(s, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); sv.Serve(ln) }()
+	t.Cleanup(func() {
+		sv.Close()
+		s.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not stop")
+		}
+	})
+	return s, ln.Addr().String()
+}
+
+// TestServerRoundTrip streams a null-accelerator job through a real client
+// connection and checks the words come back verbatim with clean counters.
+func TestServerRoundTrip(t *testing.T) {
+	_, addr := startServer(t, sched.Config{Engines: 1, Quantum: 8, QueueCap: 64})
+	c, err := client.Connect(addr, client.Options{Tenant: "rt", Accel: "null"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.InWords() != 1 || c.OutWords() != 1 {
+		t.Fatalf("null geometry = %d:%d, want 1:1", c.InWords(), c.OutWords())
+	}
+	in := make([]cohort.Word, 500)
+	for i := range in {
+		in[i] = cohort.Word(i) * 3
+	}
+	out, res, err := c.Stream(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-tripped %d words, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("word %d = %d, want %d", i, out[i], in[i])
+		}
+	}
+	if res.Blocks != 500 || res.WordsIn != 500 || res.WordsOut != 500 || res.Err != "" {
+		t.Fatalf("done reply = %+v", res)
+	}
+}
+
+// TestServerConcurrentTenants runs several clients at once; every stream
+// must come back complete and correct.
+func TestServerConcurrentTenants(t *testing.T) {
+	_, addr := startServer(t, sched.Config{Engines: 2, Quantum: 4, QueueCap: 64})
+	var wg sync.WaitGroup
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c, err := client.Connect(addr, client.Options{
+				Tenant: fmt.Sprintf("t%d", k), Accel: "null", Weight: k + 1,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			in := make([]cohort.Word, 300)
+			for i := range in {
+				in[i] = cohort.Word(k*1000 + i)
+			}
+			out, _, err := c.Stream(in)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(out) != len(in) {
+				t.Errorf("tenant %d: %d words back, want %d", k, len(out), len(in))
+				return
+			}
+			for i := range in {
+				if out[i] != in[i] {
+					t.Errorf("tenant %d word %d = %d, want %d", k, i, out[i], in[i])
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// TestServerRejectsUnknownAccel: an Open naming an accelerator outside the
+// catalog is refused with ErrRejected and leaves no session behind.
+func TestServerRejectsUnknownAccel(t *testing.T) {
+	s, addr := startServer(t, sched.Config{Engines: 1, QueueCap: 64})
+	_, err := client.Connect(addr, client.Options{Tenant: "x", Accel: "fpga9000"})
+	if !errors.Is(err, client.ErrRejected) {
+		t.Fatalf("Connect err = %v, want ErrRejected", err)
+	}
+	if n := len(s.Sessions()); n != 0 {
+		t.Fatalf("%d sessions live after rejected open", n)
+	}
+}
+
+// TestServerAdmissionOverWire: the scheduler's MaxSessions surfaces to the
+// remote client as a rejected open.
+func TestServerAdmissionOverWire(t *testing.T) {
+	_, addr := startServer(t, sched.Config{Engines: 1, MaxSessions: 1, QueueCap: 64})
+	c1, err := client.Connect(addr, client.Options{Tenant: "a", Accel: "null"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := client.Connect(addr, client.Options{Tenant: "b", Accel: "null"}); !errors.Is(err, client.ErrRejected) {
+		t.Fatalf("second Connect err = %v, want ErrRejected", err)
+	}
+}
+
+// TestServerKillsOnDisconnect: dropping the connection mid-stream retires
+// the session (ErrKilled path) instead of leaking it.
+func TestServerKillsOnDisconnect(t *testing.T) {
+	s, addr := startServer(t, sched.Config{Engines: 1, QueueCap: 64})
+	c, err := client.Connect(addr, client.Options{Tenant: "gone", Accel: "null"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(make([]cohort.Word, 10)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // no CloseSend: the producer vanished
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.Sessions()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session not retired after disconnect: %+v", s.Sessions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServerQuotaOverWire: a quota-capped session returns exactly the quota
+// worth of results and a Done frame naming the quota error.
+func TestServerQuotaOverWire(t *testing.T) {
+	_, addr := startServer(t, sched.Config{Engines: 1, Quantum: 2, QueueCap: 64})
+	c, err := client.Connect(addr, client.Options{Tenant: "capped", Accel: "null", Quota: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, res, err := c.Stream(make([]cohort.Word, 20))
+	if err == nil {
+		t.Fatal("Stream on a quota-capped session reported no error")
+	}
+	if len(out) != 5 {
+		t.Fatalf("got %d result words, want the 5-block quota", len(out))
+	}
+	if res == nil || res.Blocks != 5 || res.Err == "" {
+		t.Fatalf("done reply = %+v, want 5 blocks and a quota error", res)
+	}
+}

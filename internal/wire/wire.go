@@ -1,0 +1,226 @@
+// Package wire is cohortd's framed TCP protocol: the thinnest possible
+// transport for streaming Cohort words between a remote tenant and the
+// serving scheduler. A connection carries exactly one session.
+//
+// Every frame is a 1-byte type, a 4-byte big-endian payload length, and the
+// payload. Control payloads (Open, OpenOK, Error, Done) are JSON; Data
+// payloads are packed little-endian 64-bit words, matching the in-memory
+// queue representation so the daemon can move them with a single copy.
+//
+// Conversation shape:
+//
+//	client                          server
+//	  Open{tenant,accel,...}  --->
+//	                          <---  OpenOK{session,in_words,out_words}   (or Error)
+//	  Data* / CloseSend       --->
+//	                          <---  Data* ... Done{stats,err}
+//
+// Data flows full-duplex after OpenOK: the server streams results as blocks
+// complete, while the client is still sending. Done is always the server's
+// final frame; the connection closes after it.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cohort"
+)
+
+// Type identifies a frame.
+type Type byte
+
+// Frame types. Zero is invalid so a zeroed header is caught.
+const (
+	Open      Type = 1 // client → server: JSON OpenRequest
+	OpenOK    Type = 2 // server → client: JSON OpenReply
+	Error     Type = 3 // server → client: JSON ErrorReply, then close
+	Data      Type = 4 // either direction: packed little-endian words
+	CloseSend Type = 5 // client → server: end of the client's stream
+	Done      Type = 6 // server → client: JSON DoneReply, final frame
+)
+
+func (t Type) String() string {
+	switch t {
+	case Open:
+		return "open"
+	case OpenOK:
+		return "open-ok"
+	case Error:
+		return "error"
+	case Data:
+		return "data"
+	case CloseSend:
+		return "close-send"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("type(%d)", byte(t))
+}
+
+// WordBytes is the wire size of one cohort.Word.
+const WordBytes = 8
+
+// MaxFrame bounds a frame payload; Reader rejects anything larger so a
+// corrupt or hostile header cannot trigger an arbitrary allocation.
+const MaxFrame = 8 << 20
+
+const headerBytes = 5
+
+// OpenRequest is the client's session ask — the wire form of
+// sched.SessionConfig.
+type OpenRequest struct {
+	Tenant   string `json:"tenant"`
+	Accel    string `json:"accel"`
+	CSR      []byte `json:"csr,omitempty"`
+	Weight   int    `json:"weight,omitempty"`
+	Quota    uint64 `json:"quota,omitempty"`
+	QueueCap int    `json:"queue_cap,omitempty"`
+}
+
+// OpenReply acknowledges admission and tells the client the accelerator's
+// block geometry so it can frame its stream sensibly.
+type OpenReply struct {
+	Session  uint64 `json:"session"`
+	InWords  int    `json:"in_words"`
+	OutWords int    `json:"out_words"`
+}
+
+// ErrorReply rejects an Open (admission control, unknown accelerator, bad
+// CSR). The connection closes after it.
+type ErrorReply struct {
+	Message string `json:"message"`
+}
+
+// DoneReply is the server's final word on a session: its counters and, when
+// the stream did not end cleanly, why.
+type DoneReply struct {
+	Blocks       uint64 `json:"blocks"`
+	WordsIn      uint64 `json:"words_in"`
+	WordsOut     uint64 `json:"words_out"`
+	DroppedWords uint64 `json:"dropped_words,omitempty"`
+	Err          string `json:"err,omitempty"`
+}
+
+// Writer frames outbound messages. Not safe for concurrent use; give each
+// writing goroutine its own.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Frame writes one frame. The payload may be nil.
+func (fw *Writer) Frame(t Type, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: %s payload %d bytes exceeds MaxFrame", t, len(payload))
+	}
+	need := headerBytes + len(payload)
+	if cap(fw.buf) < need {
+		fw.buf = make([]byte, need)
+	}
+	b := fw.buf[:need]
+	b[0] = byte(t)
+	binary.BigEndian.PutUint32(b[1:headerBytes], uint32(len(payload)))
+	copy(b[headerBytes:], payload)
+	// One Write per frame keeps frames atomic with respect to interleaving
+	// observers and avoids a small-write syscall for the header.
+	_, err := fw.w.Write(b)
+	return err
+}
+
+// JSON marshals v and writes it as a frame of type t.
+func (fw *Writer) JSON(t Type, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal %s: %w", t, err)
+	}
+	return fw.Frame(t, payload)
+}
+
+// Words writes ws as one Data frame.
+func (fw *Writer) Words(ws []cohort.Word) error {
+	need := headerBytes + len(ws)*WordBytes
+	if need > headerBytes+MaxFrame {
+		return fmt.Errorf("wire: data frame of %d words exceeds MaxFrame", len(ws))
+	}
+	if cap(fw.buf) < need {
+		fw.buf = make([]byte, need)
+	}
+	b := fw.buf[:need]
+	b[0] = byte(Data)
+	binary.BigEndian.PutUint32(b[1:headerBytes], uint32(len(ws)*WordBytes))
+	for i, w := range ws {
+		binary.LittleEndian.PutUint64(b[headerBytes+i*WordBytes:], uint64(w))
+	}
+	_, err := fw.w.Write(b)
+	return err
+}
+
+// Reader deframes inbound messages. Not safe for concurrent use.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads one frame and returns its type and payload. The payload slice
+// is reused by the following Next call — decode or copy before advancing.
+// Returns io.EOF cleanly only on a connection closed between frames.
+func (fr *Reader) Next() (Type, []byte, error) {
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	t := Type(hdr[0])
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if t < Open || t > Done {
+		return 0, nil, fmt.Errorf("wire: invalid frame type %d", hdr[0])
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: %s payload %d bytes exceeds MaxFrame", t, n)
+	}
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	payload := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: read %s payload: %w", t, err)
+	}
+	return t, payload, nil
+}
+
+// Unmarshal decodes a JSON control payload into v.
+func Unmarshal(t Type, payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: decode %s: %w", t, err)
+	}
+	return nil
+}
+
+// Words decodes a Data payload into a fresh slice.
+func Words(payload []byte) ([]cohort.Word, error) {
+	ws := make([]cohort.Word, 0, len(payload)/WordBytes)
+	return AppendWords(ws, payload)
+}
+
+// AppendWords decodes a Data payload onto dst and returns the extended
+// slice. The payload must be a whole number of words.
+func AppendWords(dst []cohort.Word, payload []byte) ([]cohort.Word, error) {
+	if len(payload)%WordBytes != 0 {
+		return dst, fmt.Errorf("wire: data payload %d bytes is not word-aligned", len(payload))
+	}
+	for i := 0; i < len(payload); i += WordBytes {
+		dst = append(dst, cohort.Word(binary.LittleEndian.Uint64(payload[i:])))
+	}
+	return dst, nil
+}

@@ -33,6 +33,20 @@ type SourceSnapshot struct {
 	Metrics []Metric
 }
 
+// Label is one extra Prometheus label pair attached to a metric source
+// (RegisterLabeled) — how a multi-tenant service keys a source by tenant.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// source is one registered metric source: its snapshot callback plus any
+// extra exposition labels.
+type source struct {
+	fn     func() []Metric
+	labels []Label
+}
+
 // Registry collects metric sources (queues, engines, adapters) and snapshots
 // them on demand. Sources are polled only inside Snapshot/String, so
 // registration adds zero cost to the instrumented hot paths. Safe for
@@ -40,24 +54,40 @@ type SourceSnapshot struct {
 type Registry struct {
 	mu      sync.Mutex
 	order   []string
-	sources map[string]func() []Metric
+	sources map[string]source
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{sources: make(map[string]func() []Metric)}
+	return &Registry{sources: make(map[string]source)}
 }
 
 // Register adds (or replaces) a named metric source. fn is called during
 // Snapshot and must be safe to call at any time; for Fifo-backed sources the
 // values are exact only when the queue's two sides are quiescent.
 func (r *Registry) Register(name string, fn func() []Metric) {
+	r.RegisterLabeled(name, nil, fn)
+}
+
+// RegisterLabeled is Register with extra Prometheus labels emitted on every
+// sample of the source (after the implicit source label). A serving layer
+// uses this to key per-session sources by tenant, so dashboards can aggregate
+// across a tenant's sessions no matter how the source names are spelled.
+// Labels only affect WritePrometheus output; Snapshot and String ignore them.
+func (r *Registry) RegisterLabeled(name string, labels []Label, fn func() []Metric) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.sources[name]; !ok {
 		r.order = append(r.order, name)
 	}
-	r.sources[name] = fn
+	r.sources[name] = source{fn: fn, labels: append([]Label(nil), labels...)}
+}
+
+// Len returns the number of registered sources.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sources)
 }
 
 // Unregister removes a source; unknown names are ignored.
@@ -82,7 +112,7 @@ func (r *Registry) Snapshot() []SourceSnapshot {
 	names := append([]string(nil), r.order...)
 	fns := make([]func() []Metric, len(names))
 	for i, n := range names {
-		fns[i] = r.sources[n]
+		fns[i] = r.sources[n].fn
 	}
 	r.mu.Unlock()
 	// Poll outside the lock: a source callback may itself take locks.
@@ -91,6 +121,24 @@ func (r *Registry) Snapshot() []SourceSnapshot {
 		out[i] = SourceSnapshot{Name: n, Metrics: fns[i]()}
 	}
 	return out
+}
+
+// snapshotLabeled is Snapshot plus each source's exposition labels, for
+// WritePrometheus.
+func (r *Registry) snapshotLabeled() ([]SourceSnapshot, [][]Label) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fns := make([]func() []Metric, len(names))
+	labels := make([][]Label, len(names))
+	for i, n := range names {
+		fns[i], labels[i] = r.sources[n].fn, r.sources[n].labels
+	}
+	r.mu.Unlock()
+	out := make([]SourceSnapshot, len(names))
+	for i, n := range names {
+		out[i] = SourceSnapshot{Name: n, Metrics: fns[i]()}
+	}
+	return out, labels
 }
 
 // String renders the snapshot as an aligned two-column table, one section per
@@ -129,18 +177,25 @@ func (r *Registry) String() string {
 // midpoint-estimated _sum, and an exact _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	type sample struct {
-		source string
+		labels string // rendered label set: source plus any extra labels
 		m      Metric
 	}
 	families := make(map[string][]sample)
 	var names []string
-	for _, s := range r.Snapshot() {
+	snaps, labels := r.snapshotLabeled()
+	for i, s := range snaps {
+		var lb strings.Builder
+		fmt.Fprintf(&lb, "source=\"%s\"", promEscape(s.Name))
+		for _, l := range labels[i] {
+			fmt.Fprintf(&lb, ",%s=\"%s\"", promLabelKey(l.Key), promEscape(l.Value))
+		}
+		rendered := lb.String()
 		for _, m := range s.Metrics {
 			fam := promName(m.Name)
 			if _, ok := families[fam]; !ok {
 				names = append(names, fam)
 			}
-			families[fam] = append(families[fam], sample{s.Name, m})
+			families[fam] = append(families[fam], sample{rendered, m})
 		}
 	}
 	sort.Strings(names)
@@ -154,16 +209,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "# HELP %s Cohort runtime metric %s.\n", fam, ss[0].m.Name)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, kind)
 		for _, s := range ss {
-			src := promEscape(s.source)
 			if h := s.m.Histo; h != nil {
 				for _, q := range [...]float64{0.5, 0.95, 0.99} {
-					fmt.Fprintf(&b, "%s{source=\"%s\",quantile=\"%g\"} %s\n", fam, src, q, promFloat(h.Quantile(q)))
+					fmt.Fprintf(&b, "%s{%s,quantile=\"%g\"} %s\n", fam, s.labels, q, promFloat(h.Quantile(q)))
 				}
-				fmt.Fprintf(&b, "%s_sum{source=\"%s\"} %s\n", fam, src, promFloat(h.sumEstimate()))
-				fmt.Fprintf(&b, "%s_count{source=\"%s\"} %d\n", fam, src, h.Samples())
+				fmt.Fprintf(&b, "%s_sum{%s} %s\n", fam, s.labels, promFloat(h.sumEstimate()))
+				fmt.Fprintf(&b, "%s_count{%s} %d\n", fam, s.labels, h.Samples())
 				continue
 			}
-			fmt.Fprintf(&b, "%s{source=\"%s\"} %d\n", fam, src, s.m.Value)
+			fmt.Fprintf(&b, "%s{%s} %d\n", fam, s.labels, s.m.Value)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -184,6 +238,13 @@ func promName(name string) string {
 		}
 	}
 	return b.String()
+}
+
+// promLabelKey sanitizes a label key into the Prometheus identifier alphabet
+// (promName's, minus the cohort_ namespace prefix — label keys are not
+// metric names).
+func promLabelKey(k string) string {
+	return strings.TrimPrefix(promName(k), "cohort_")
 }
 
 // promEscape escapes a label value per the exposition format: backslash,
@@ -251,6 +312,7 @@ func RegisterEngine(r *Registry, name string, e *Engine) {
 			{Name: "wakeups", Value: s.Wakeups},
 			{Name: "backoff_sleeps", Value: s.BackoffSleeps},
 			{Name: "errors", Value: s.Errors},
+			{Name: "dropped_words", Value: s.DroppedWords},
 			{Name: "drain_ns", Histo: &h},
 		}
 	})
