@@ -40,12 +40,40 @@ type Options struct {
 	QueueCap int
 	// DialTimeout bounds the TCP connect (default 5s).
 	DialTimeout time.Duration
+	// Reconnect, when > 0, retries Connect up to that many additional times
+	// after a retryable failure — a dial error (daemon restarting) or an
+	// admission-control rejection (ErrAdmission; capacity frees as other
+	// sessions retire). Deliberate rejections (unknown accelerator, bad CSR)
+	// are never retried.
+	Reconnect int
+	// ReconnectBackoff is the pause before the first reconnect attempt,
+	// doubling per attempt (default 50ms).
+	ReconnectBackoff time.Duration
+	// ReconnectMax caps the doubling backoff (default 2s).
+	ReconnectMax time.Duration
 }
 
 // ErrRejected wraps the daemon's refusal to open the session (admission
 // control, unknown accelerator, bad CSR). Inspect with errors.Is and read
 // the daemon's message with errors.Unwrap / Error.
 var ErrRejected = errors.New("cohort client: session rejected")
+
+// ErrAdmission is the typed form of an admission-control rejection: the
+// daemon is at MaxSessions. It wraps ErrRejected (errors.Is matches both) and
+// is the one rejection worth retrying — Options.Reconnect does so
+// automatically.
+var ErrAdmission = errors.New("cohort client: admission control full")
+
+// ErrKilled: the daemon forcibly tore the session down mid-stream (operator
+// kill, dead peer verdict). Results already received are valid; the stream is
+// incomplete.
+var ErrKilled = errors.New("cohort client: session killed")
+
+// ErrFault: the session's accelerator failed terminally mid-stream and the
+// scheduler contained the failure to this session. Results already received
+// are valid unless the fault corrupted data silently — checksum at the
+// application layer.
+var ErrFault = errors.New("cohort client: accelerator fault")
 
 // Conn is one open session. Send/CloseSend may run concurrently with Recv
 // (one goroutine each); no method may be called concurrently with itself.
@@ -61,12 +89,49 @@ type Conn struct {
 	recvErr error
 }
 
-// Connect dials the daemon and opens a session. A non-nil error means no
+// Connect dials the daemon and opens a session, retrying retryable failures
+// per Options.Reconnect with a doubling backoff. A non-nil error means no
 // session exists and nothing need be closed.
 func Connect(addr string, opts Options) (*Conn, error) {
 	if opts.Accel == "" {
 		return nil, errors.New("cohort client: Options.Accel is required")
 	}
+	c, err := connect(addr, opts)
+	if err == nil || opts.Reconnect <= 0 {
+		return c, err
+	}
+	pause := opts.ReconnectBackoff
+	if pause <= 0 {
+		pause = 50 * time.Millisecond
+	}
+	maxPause := opts.ReconnectMax
+	if maxPause <= 0 {
+		maxPause = 2 * time.Second
+	}
+	for attempt := 0; attempt < opts.Reconnect && reconnectable(err); attempt++ {
+		time.Sleep(pause)
+		if pause *= 2; pause > maxPause {
+			pause = maxPause
+		}
+		if c, err = connect(addr, opts); err == nil {
+			return c, nil
+		}
+	}
+	return nil, err
+}
+
+// reconnectable reports whether a Connect failure is worth retrying: dial
+// errors and admission-control rejections are; deliberate rejections
+// (unknown accelerator, bad CSR) are final.
+func reconnectable(err error) bool {
+	if errors.Is(err, ErrAdmission) {
+		return true
+	}
+	return !errors.Is(err, ErrRejected)
+}
+
+// connect performs one dial + Open handshake.
+func connect(addr string, opts Options) (*Conn, error) {
 	timeout := opts.DialTimeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
@@ -104,6 +169,9 @@ func Connect(addr string, opts Options) (*Conn, error) {
 			return nil, err
 		}
 		nc.Close()
+		if rej.Code == wire.CodeAdmission {
+			return nil, fmt.Errorf("%w (%w): %s", ErrAdmission, ErrRejected, rej.Message)
+		}
 		return nil, fmt.Errorf("%w: %s", ErrRejected, rej.Message)
 	default:
 		nc.Close()
@@ -174,6 +242,23 @@ func (c *Conn) Recv() ([]cohort.Word, error) {
 				return nil, c.recvErr
 			}
 			return nil, io.EOF
+		case wire.Error:
+			// The session died mid-stream; the server said why instead of
+			// just resetting the connection. Map the code to a typed error.
+			var rej wire.ErrorReply
+			if err := wire.Unmarshal(t, payload, &rej); err != nil {
+				c.recvErr = err
+				return nil, err
+			}
+			switch rej.Code {
+			case wire.CodeKilled:
+				c.recvErr = fmt.Errorf("%w: %s", ErrKilled, rej.Message)
+			case wire.CodeFault:
+				c.recvErr = fmt.Errorf("%w: %s", ErrFault, rej.Message)
+			default:
+				c.recvErr = fmt.Errorf("cohort client: session ended: %s", rej.Message)
+			}
+			return nil, c.recvErr
 		default:
 			c.recvErr = fmt.Errorf("cohort client: unexpected %s frame in result stream", t)
 			return nil, c.recvErr

@@ -5,8 +5,15 @@
 // with the cohort/client package.
 //
 // The observability plane (-http) serves /metrics with per-tenant labeled
-// session counters, /sessions with a JSON snapshot of live sessions, /trace
-// with the scheduler's flight-recorder ring, and /debug/pprof.
+// session counters, /healthz with a degraded-but-alive verdict over the
+// scheduler's fault-containment counters, /sessions with a JSON snapshot of
+// live sessions, /trace with the scheduler's flight-recorder ring, and
+// /debug/pprof.
+//
+// Fault tolerance: -retries gives every session a per-block retry budget for
+// transient accelerator faults (with -retry-backoff pacing the attempts); a
+// terminal fault retires only the faulting session — other tenants keep
+// their fair shares and the daemon keeps serving.
 //
 // -smoke runs a self-test instead of serving: it starts the daemon on a
 // loopback port, streams a SHA-256 job through a real client connection,
@@ -37,16 +44,19 @@ func main() {
 		engines     = flag.Int("engines", 2, "engine worker pool size")
 		quantum     = flag.Int("quantum", 32, "max blocks served per scheduling decision")
 		switchCost  = flag.Duration("switch-cost", 0, "modeled cohort_register CSR-swap cost per session switch")
-		maxSessions = flag.Int("max-sessions", 64, "admission control: max concurrently live sessions")
-		queueCap    = flag.Int("queue-cap", 4096, "default per-direction session queue capacity in words")
-		httpAddr    = flag.String("http", "", "serve /metrics, /sessions, /trace and /debug/pprof on this address (e.g. :9122)")
-		smoke       = flag.Bool("smoke", false, "run the loopback self-test and exit")
+		maxSessions  = flag.Int("max-sessions", 64, "admission control: max concurrently live sessions")
+		queueCap     = flag.Int("queue-cap", 4096, "default per-direction session queue capacity in words")
+		retries      = flag.Int("retries", 0, "per-block retry budget for transient accelerator faults (0 = every fault is terminal)")
+		retryBackoff = flag.Duration("retry-backoff", 100*time.Microsecond, "pause before the first retry, doubling per attempt")
+		httpAddr     = flag.String("http", "", "serve /metrics, /healthz, /sessions, /trace and /debug/pprof on this address (e.g. :9122)")
+		smoke        = flag.Bool("smoke", false, "run the loopback self-test and exit")
 	)
 	flag.Parse()
 
 	cfg := sched.Config{
 		Engines: *engines, Quantum: *quantum, SwitchCost: *switchCost,
 		MaxSessions: *maxSessions, QueueCap: *queueCap,
+		Retries: *retries, RetryBackoff: *retryBackoff,
 	}
 	if *smoke {
 		if err := runSmoke(cfg); err != nil {
@@ -80,6 +90,26 @@ func run(cfg sched.Config, listen, httpAddr string) error {
 			MetricsText: reg.WritePrometheus,
 			TraceJSON:   func(w io.Writer) error { return flight.WriteChrome(w, "cohortd") },
 			Sessions:    func() any { return s.Sessions() },
+			// /healthz: the serving plane is degraded-but-alive (200,
+			// "degraded") once it has contained terminal faults or kills; a
+			// live session parked on an error shows as its own degraded row.
+			Health: func() []obsrv.Health {
+				st := s.Stats()
+				hs := []obsrv.Health{{Name: "sched"}}
+				if n := st.TerminalFaults + st.Kills; n > 0 {
+					hs[0].Degraded = fmt.Sprintf("%d terminal faults, %d kills contained",
+						st.TerminalFaults, st.Kills)
+				}
+				for _, ses := range s.Sessions() {
+					if ses.Err != "" {
+						hs = append(hs, obsrv.Health{
+							Name:     fmt.Sprintf("session/%s#%d", ses.Tenant, ses.ID),
+							Degraded: ses.Err,
+						})
+					}
+				}
+				return hs
+			},
 		})
 		if err := web.Serve(httpAddr); err != nil {
 			sv.Close()

@@ -52,6 +52,13 @@ type Engine struct {
 	boMin time.Duration
 	boMax time.Duration
 
+	// Recovery policy (WithRetry / WithProcessTimeout). retries is the
+	// per-block transient-fault retry budget; retryMin the first retry pause
+	// (doubling, capped at 64×); procTimeout bounds one Process call.
+	retries     int
+	retryMin    time.Duration
+	procTimeout time.Duration
+
 	// trk/now are non-nil only when the engine was registered WithTrace or
 	// WithFlightRecorder; every trace call site checks trk so a disabled
 	// engine never reads the clock or formats anything. flight is set in the
@@ -60,14 +67,16 @@ type Engine struct {
 	now    func() uint64
 	flight *FlightRecorder
 
-	elemsIn  atomic.Uint64
-	elemsOut atomic.Uint64
-	blocks   atomic.Uint64
-	wakeups  atomic.Uint64
-	sleeps   atomic.Uint64
-	errs     atomic.Uint64
-	dropped  atomic.Uint64
-	errp     atomic.Pointer[error]
+	elemsIn   atomic.Uint64
+	elemsOut  atomic.Uint64
+	blocks    atomic.Uint64
+	wakeups   atomic.Uint64
+	sleeps    atomic.Uint64
+	errs      atomic.Uint64
+	dropped   atomic.Uint64
+	retried   atomic.Uint64
+	recovered atomic.Uint64
+	errp      atomic.Pointer[error]
 
 	// histo is the drain→publish latency distribution, log2-bucketed in
 	// nanoseconds and sampled every histoSampleEvery-th wakeup so the clock
@@ -88,13 +97,16 @@ const histoBuckets = 32
 type RegisterOption func(*registerCfg)
 
 type registerCfg struct {
-	csr    []byte
-	batch  int
-	boMin  time.Duration
-	boMax  time.Duration
-	rec    *trace.Recorder
-	flight *FlightRecorder
-	track  string
+	csr         []byte
+	batch       int
+	boMin       time.Duration
+	boMax       time.Duration
+	retries     int
+	retryMin    time.Duration
+	procTimeout time.Duration
+	rec         *trace.Recorder
+	flight      *FlightRecorder
+	track       string
 }
 
 // WithCSR supplies the accelerator's configuration struct at registration
@@ -139,6 +151,29 @@ func WithFlightRecorder(f *FlightRecorder, track string) RegisterOption {
 	}
 }
 
+// WithRetry makes transient accelerator faults — errors marked with
+// Transient (or carrying a `Transient() bool` method in their chain) —
+// non-terminal: the engine re-runs the failing block up to n times, pausing
+// backoff, 2·backoff, ... (capped at 64·backoff) between attempts. A block
+// still failing after n retries, or failing with an unmarked error, parks
+// the engine exactly as before (Err). The default (n = 0) keeps every
+// Process error terminal.
+func WithRetry(n int, backoff time.Duration) RegisterOption {
+	return func(c *registerCfg) { c.retries, c.retryMin = n, backoff }
+}
+
+// WithProcessTimeout bounds a single accelerator Process call: a call that
+// has not returned after d parks the engine with ErrProcessTimeout instead
+// of wedging its goroutine forever — the queues, the session and the
+// watchdog all stay live for containment. The timeout is terminal, never
+// retried: Go cannot cancel the in-flight call, so the abandoned call may
+// still be running (its result is discarded when it finishes) and the
+// accelerator's state is unknown. Costs one goroutine spawn per Process
+// call; the zero default keeps the direct-call fast path.
+func WithProcessTimeout(d time.Duration) RegisterOption {
+	return func(c *registerCfg) { c.procTimeout = d }
+}
+
 // WithBackoff makes an idle engine sleep with exponentially growing pauses
 // in [min, max] instead of spinning, mirroring the hardware engine's backoff
 // unit (§4.2.5): after a burst of spin-yields the engine sleeps min,
@@ -170,6 +205,9 @@ func Register(acc Accelerator, in, out *Fifo[Word], opts ...RegisterOption) (*En
 	if cfg.boMax < cfg.boMin {
 		return nil, fmt.Errorf("cohort: register %s: backoff max %v < min %v", acc.Name(), cfg.boMax, cfg.boMin)
 	}
+	if cfg.retries < 0 {
+		return nil, fmt.Errorf("cohort: register %s: negative retry budget %d", acc.Name(), cfg.retries)
+	}
 	if cfg.csr != nil {
 		if err := acc.Configure(cfg.csr); err != nil {
 			return nil, fmt.Errorf("cohort: configure %s: %w", acc.Name(), err)
@@ -179,6 +217,7 @@ func Register(acc Accelerator, in, out *Fifo[Word], opts ...RegisterOption) (*En
 		acc: acc, in: in, out: out,
 		stop: make(chan struct{}), done: make(chan struct{}),
 		batch: cfg.batch, boMin: cfg.boMin, boMax: cfg.boMax,
+		retries: cfg.retries, retryMin: cfg.retryMin, procTimeout: cfg.procTimeout,
 	}
 	if cfg.rec != nil && cfg.flight != nil {
 		return nil, fmt.Errorf("cohort: register %s: WithTrace and WithFlightRecorder are mutually exclusive", acc.Name())
@@ -310,9 +349,8 @@ func (e *Engine) run() {
 		blocks := fill / inW
 		e.elemsIn.Add(uint64(blocks * inW))
 		for b := 0; b < blocks; b++ {
-			res, err := e.acc.Process(buf[b*inW : (b+1)*inW])
-			if err != nil {
-				e.fail(err)
+			res, ok := e.processBlock(buf[b*inW : (b+1)*inW])
+			if !ok {
 				return
 			}
 			if !e.pushSliceStoppable(e.out, res) {
@@ -326,6 +364,71 @@ func (e *Engine) run() {
 	}
 }
 
+// processBlock runs one block through the accelerator under the configured
+// recovery policy: transient failures are retried up to the WithRetry budget
+// with doubling pauses; a terminal failure (unmarked error, exhausted budget,
+// or ErrProcessTimeout) records the error via fail. Returns ok=false when the
+// engine must park — after fail, or because stop closed during a retry pause
+// (no error recorded: that is an ordinary Unregister).
+func (e *Engine) processBlock(in []Word) ([]Word, bool) {
+	res, err := e.callProcess(in)
+	if err == nil {
+		return res, true
+	}
+	pause := e.retryMin
+	for attempt := 0; attempt < e.retries && IsTransient(err); attempt++ {
+		e.retried.Add(1)
+		if e.trk != nil {
+			e.trk.Instant("retry")
+		}
+		if pause > 0 {
+			t := time.NewTimer(pause)
+			select {
+			case <-e.stop:
+				t.Stop()
+				return nil, false
+			case <-t.C:
+			}
+			if pause < 64*e.retryMin {
+				pause *= 2
+			}
+		}
+		if res, err = e.callProcess(in); err == nil {
+			e.recovered.Add(1)
+			return res, true
+		}
+	}
+	e.fail(err)
+	return nil, false
+}
+
+// callProcess invokes Process, bounded by WithProcessTimeout when one is
+// configured. The timed path runs the call in a fresh goroutine whose result
+// lands in a buffered channel, so an abandoned (timed-out) call finishes and
+// is collected without anyone waiting on it.
+func (e *Engine) callProcess(in []Word) ([]Word, error) {
+	if e.procTimeout <= 0 {
+		return e.acc.Process(in)
+	}
+	type result struct {
+		res []Word
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		res, err := e.acc.Process(in)
+		ch <- result{res, err}
+	}()
+	t := time.NewTimer(e.procTimeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.res, r.err
+	case <-t.C:
+		return nil, fmt.Errorf("%w: %s did not finish a block in %v", ErrProcessTimeout, e.acc.Name(), e.procTimeout)
+	}
+}
+
 // drainSampled is one wakeup's drain with the histogram clock on: it times
 // finding-a-batch to last-publication and files the sample. Out of line so
 // the untraced steady-state loop carries no timing state. Returns the new
@@ -335,9 +438,8 @@ func (e *Engine) drainSampled(buf []Word, fill, inW int) (int, bool) {
 	blocks := fill / inW
 	e.elemsIn.Add(uint64(blocks * inW))
 	for b := 0; b < blocks; b++ {
-		res, err := e.acc.Process(buf[b*inW : (b+1)*inW])
-		if err != nil {
-			e.fail(err)
+		res, ok := e.processBlock(buf[b*inW : (b+1)*inW])
+		if !ok {
 			return fill, false
 		}
 		if !e.pushSliceStoppable(e.out, res) {
@@ -412,9 +514,8 @@ func (e *Engine) runTraced(buf []Word, inW int, bo *backoff) {
 		e.elemsIn.Add(uint64(blocks * inW))
 		for b := 0; b < blocks; b++ {
 			t0 := e.now()
-			res, err := e.acc.Process(buf[b*inW : (b+1)*inW])
-			if err != nil {
-				e.fail(err)
+			res, ok := e.processBlock(buf[b*inW : (b+1)*inW])
+			if !ok {
 				return
 			}
 			e.trk.Span("compute", t0)
@@ -434,8 +535,9 @@ func (e *Engine) runTraced(buf []Word, inW int, bo *backoff) {
 	}
 }
 
-// fail records a terminal accelerator error. A failing accelerator mid-stream
-// is terminal for the engine (the stream's block framing is gone) but must
+// fail records a terminal accelerator error. A terminally failing accelerator
+// — an unmarked error, an exhausted retry budget, a process timeout — is
+// terminal for the engine (the stream's block framing is gone) but must
 // not take the process down: record it and park, like a hardware engine
 // raising an error IRQ and halting its FSM. Out-of-line so the wrapped
 // error's allocation never lands in the run loops' frames. When a flight
@@ -534,7 +636,9 @@ type EngineStats struct {
 	Blocks        uint64 // accelerator blocks processed
 	Wakeups       uint64 // drain iterations that found at least one block
 	BackoffSleeps uint64 // timer sleeps taken by the backoff unit
-	Errors        uint64 // accelerator Process failures (terminal; see Err)
+	Errors        uint64 // terminal accelerator failures (see Err)
+	Retries       uint64 // transient-fault Process re-attempts (WithRetry)
+	Recovered     uint64 // blocks that succeeded after at least one retry
 	DroppedWords  uint64 // partial-block words discarded at end of stream
 	// DrainNs is the sampled drain→publish latency distribution: the wall
 	// time from finding a block batch to its last output publication,
@@ -546,8 +650,8 @@ type EngineStats struct {
 // distribution summarized as interpolated quantiles.
 func (s EngineStats) String() string {
 	return fmt.Sprintf(
-		"words_in=%d words_out=%d blocks=%d wakeups=%d backoff_sleeps=%d errors=%d drain_ns{p50=%.0f p95=%.0f p99=%.0f n=%d}",
-		s.WordsIn, s.WordsOut, s.Blocks, s.Wakeups, s.BackoffSleeps, s.Errors,
+		"words_in=%d words_out=%d blocks=%d wakeups=%d backoff_sleeps=%d errors=%d retries=%d recovered=%d drain_ns{p50=%.0f p95=%.0f p99=%.0f n=%d}",
+		s.WordsIn, s.WordsOut, s.Blocks, s.Wakeups, s.BackoffSleeps, s.Errors, s.Retries, s.Recovered,
 		s.DrainNs.Quantile(0.5), s.DrainNs.Quantile(0.95), s.DrainNs.Quantile(0.99), s.DrainNs.Samples())
 }
 
@@ -560,6 +664,8 @@ func (e *Engine) StatsDetail() EngineStats {
 		Wakeups:       e.wakeups.Load(),
 		BackoffSleeps: e.sleeps.Load(),
 		Errors:        e.errs.Load(),
+		Retries:       e.retried.Load(),
+		Recovered:     e.recovered.Load(),
 		DroppedWords:  e.dropped.Load(),
 	}
 	for i := range e.histo {
@@ -577,6 +683,8 @@ func (e *Engine) ResetStats() {
 	e.sleeps.Store(0)
 	e.errs.Store(0)
 	e.dropped.Store(0)
+	e.retried.Store(0)
+	e.recovered.Store(0)
 	for i := range e.histo {
 		e.histo[i].Store(0)
 	}

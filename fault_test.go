@@ -1,0 +1,333 @@
+package cohort
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// flakyAccel is a 1:1 accelerator with a programmable error sequence: each
+// Process call pops the next error from errs (nil = success) and, on
+// success, echoes the input word.
+type flakyAccel struct {
+	errs  []error
+	calls int
+}
+
+func (a *flakyAccel) Name() string           { return "flaky" }
+func (a *flakyAccel) InWords() int           { return 1 }
+func (a *flakyAccel) OutWords() int          { return 1 }
+func (a *flakyAccel) Configure([]byte) error { return nil }
+func (a *flakyAccel) Process(in []Word) ([]Word, error) {
+	var err error
+	if a.calls < len(a.errs) {
+		err = a.errs[a.calls]
+	}
+	a.calls++
+	if err != nil {
+		return nil, err
+	}
+	return []Word{in[0]}, nil
+}
+
+// TestTransientMarking pins the error taxonomy: Transient marks, IsTransient
+// detects through wrapping, unmarked errors stay terminal, nil stays nil.
+func TestTransientMarking(t *testing.T) {
+	base := errors.New("ecc hiccup")
+	if !IsTransient(Transient(base)) {
+		t.Error("Transient(err) not detected as transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", Transient(base))) {
+		t.Error("transient marker lost through fmt.Errorf wrapping")
+	}
+	if IsTransient(base) {
+		t.Error("unmarked error reported transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil reported transient")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Error("Transient does not unwrap to the original error")
+	}
+}
+
+// TestEngineRetryRecovers: a transient fault inside a stream is retried and
+// the stream completes with correct data and accurate retry counters —
+// the engine no longer parks on the first Process error.
+func TestEngineRetryRecovers(t *testing.T) {
+	in, _ := NewFifo[Word](64)
+	out, _ := NewFifo[Word](64)
+	acc := &flakyAccel{errs: []error{nil, Transient(errors.New("blip")), Transient(errors.New("blip")), nil}}
+	e, err := Register(acc, in, out, WithRetry(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		in.Push(Word(i) * 7)
+	}
+	in.Close()
+	got := make([]Word, 0, 8)
+	buf := make([]Word, 8)
+	for len(got) < 8 {
+		n := out.TryPopInto(buf)
+		got = append(got, buf[:n]...)
+		if n == 0 && out.Drained() {
+			break
+		}
+	}
+	<-e.Done()
+	if err := e.Err(); err != nil {
+		t.Fatalf("engine parked: %v", err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("recovered stream returned %d words, want 8", len(got))
+	}
+	for i, w := range got {
+		if w != Word(i)*7 {
+			t.Fatalf("word %d = %d, want %d", i, w, i*7)
+		}
+	}
+	s := e.StatsDetail()
+	if s.Retries != 2 || s.Recovered != 1 || s.Errors != 0 {
+		t.Fatalf("stats = retries %d recovered %d errors %d, want 2/1/0", s.Retries, s.Recovered, s.Errors)
+	}
+}
+
+// TestEngineRetryBudgetExhausted: a fault outlasting the retry budget is
+// terminal — the engine parks with the error, like before.
+func TestEngineRetryBudgetExhausted(t *testing.T) {
+	in, _ := NewFifo[Word](8)
+	out, _ := NewFifo[Word](8)
+	blip := Transient(errors.New("persistent blip"))
+	acc := &flakyAccel{errs: []error{blip, blip, blip, blip}}
+	e, err := Register(acc, in, out, WithRetry(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Push(1)
+	<-e.Done()
+	if e.Err() == nil {
+		t.Fatal("engine did not park after exhausting the retry budget")
+	}
+	if s := e.StatsDetail(); s.Retries != 2 || s.Errors != 1 || s.Recovered != 0 {
+		t.Fatalf("stats = retries %d errors %d recovered %d, want 2/1/0", s.Retries, s.Errors, s.Recovered)
+	}
+}
+
+// TestEngineTerminalNotRetried: an unmarked error parks the engine
+// immediately; the retry budget is only for transient faults.
+func TestEngineTerminalNotRetried(t *testing.T) {
+	in, _ := NewFifo[Word](8)
+	out, _ := NewFifo[Word](8)
+	acc := &flakyAccel{errs: []error{errors.New("broken framing")}}
+	e, err := Register(acc, in, out, WithRetry(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Push(1)
+	<-e.Done()
+	if e.Err() == nil {
+		t.Fatal("engine did not park on a terminal error")
+	}
+	if s := e.StatsDetail(); s.Retries != 0 {
+		t.Fatalf("terminal error consumed %d retries, want 0", s.Retries)
+	}
+}
+
+// TestEngineEOSDuringRetry: the producer closes the stream while the engine
+// is inside a retry loop on the final block. The retry must complete, the
+// recovered block's output must be delivered, and only then does the engine
+// propagate end-of-stream — with Done strictly after the output close.
+func TestEngineEOSDuringRetry(t *testing.T) {
+	in, _ := NewFifo[Word](8)
+	out, _ := NewFifo[Word](8)
+	acc := &flakyAccel{errs: []error{Transient(errors.New("blip"))}}
+	e, err := Register(acc, in, out, WithRetry(1, 20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Push(42)
+	// Give the engine time to drain the block and enter the retry pause,
+	// then close the input mid-retry.
+	time.Sleep(5 * time.Millisecond)
+	in.Close()
+	select {
+	case <-e.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("engine never finished after EOS during retry")
+	}
+	// Done ordering: once Done is closed the output must already be closed
+	// and hold the recovered block.
+	if !out.Closed() {
+		t.Fatal("output not closed at Done")
+	}
+	if v, ok := out.TryPop(); !ok || v != 42 {
+		t.Fatalf("recovered block = (%d,%v), want (42,true)", v, ok)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("clean recovery parked the engine: %v", err)
+	}
+	if s := e.StatsDetail(); s.Retries != 1 || s.Recovered != 1 || s.DroppedWords != 0 {
+		t.Fatalf("stats = %+v, want 1 retry, 1 recovered, 0 dropped", s)
+	}
+}
+
+// TestEngineUnregisterDuringRetry: stopping the engine while it sleeps in a
+// retry pause returns promptly without recording a terminal error.
+func TestEngineUnregisterDuringRetry(t *testing.T) {
+	in, _ := NewFifo[Word](8)
+	out, _ := NewFifo[Word](8)
+	blip := Transient(errors.New("blip"))
+	acc := &flakyAccel{errs: []error{blip, blip, blip, blip, blip, blip}}
+	e, err := Register(acc, in, out, WithRetry(5, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Push(1)
+	time.Sleep(5 * time.Millisecond) // let it enter the hour-long pause
+	done := make(chan struct{})
+	go func() { e.Unregister(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Unregister hung on an engine sleeping in a retry pause")
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("stop during retry recorded a terminal error: %v", err)
+	}
+}
+
+// hangAccel wedges forever on a chosen block — the fault WithProcessTimeout
+// exists to contain.
+type hangAccel struct {
+	hangAt int
+	calls  int
+	block  chan struct{}
+}
+
+func (a *hangAccel) Name() string           { return "hang" }
+func (a *hangAccel) InWords() int           { return 1 }
+func (a *hangAccel) OutWords() int          { return 1 }
+func (a *hangAccel) Configure([]byte) error { return nil }
+func (a *hangAccel) Process(in []Word) ([]Word, error) {
+	if a.calls == a.hangAt {
+		a.calls++
+		<-a.block
+		return nil, errors.New("woken after abandonment")
+	}
+	a.calls++
+	return []Word{in[0]}, nil
+}
+
+// TestEngineProcessTimeout: a Process call that never returns parks the
+// engine with ErrProcessTimeout instead of wedging its goroutine — the
+// containment path for a dead accelerator.
+func TestEngineProcessTimeout(t *testing.T) {
+	in, _ := NewFifo[Word](8)
+	out, _ := NewFifo[Word](8)
+	acc := &hangAccel{hangAt: 2, block: make(chan struct{})}
+	e, err := Register(acc, in, out, WithProcessTimeout(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.PushSlice([]Word{10, 11, 12, 13})
+	select {
+	case <-e.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("engine never parked on the hung Process call")
+	}
+	if !errors.Is(e.Err(), ErrProcessTimeout) {
+		t.Fatalf("Err = %v, want ErrProcessTimeout", e.Err())
+	}
+	if s := e.StatsDetail(); s.WordsOut != 2 {
+		t.Fatalf("delivered %d words before the hang, want 2", s.WordsOut)
+	}
+	close(acc.block) // release the abandoned goroutine
+}
+
+// TestFaultAccelDeterministic: two FaultAccel instances driven over the same
+// input with the same plan produce identical fault sequences and identical
+// (corrupted) outputs — the property the chaos harness's integrity oracle
+// rests on.
+func TestFaultAccelDeterministic(t *testing.T) {
+	plan := FaultPlan{
+		Transient: []TransientFault{{Block: 1, Count: 2}, {Block: 3, Count: 1}},
+		Corrupt:   []int{0, 2},
+		Seed:      99,
+	}
+	run := func() ([]Word, []error) {
+		f := NewFaultAccel(NewNull(), plan)
+		var out []Word
+		var errs []error
+		for b := 0; b < 5; b++ {
+			for {
+				res, err := f.Process([]Word{Word(b) * 3})
+				if err == nil {
+					out = append(out, res...)
+					break
+				}
+				errs = append(errs, err)
+				if !IsTransient(err) {
+					return out, errs
+				}
+			}
+		}
+		return out, errs
+	}
+	out1, errs1 := run()
+	out2, errs2 := run()
+	if len(errs1) != 3 || len(errs2) != 3 {
+		t.Fatalf("injected %d and %d transient faults, want 3 each", len(errs1), len(errs2))
+	}
+	if len(out1) != 5 || len(out2) != 5 {
+		t.Fatalf("outputs %d and %d words, want 5 each", len(out1), len(out2))
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("runs diverge at word %d: %#x vs %#x", i, out1[i], out2[i])
+		}
+	}
+	// Corruption really happened (block 0 scrambled) and really is seeded
+	// (block 1 clean).
+	if out1[0] == 0 {
+		t.Error("block 0 not corrupted")
+	}
+	if out1[1] != 3 {
+		t.Errorf("block 1 = %#x, want clean 3", out1[1])
+	}
+}
+
+// TestFaultAccelTerminalAndConfigure: TerminalAfter fails the stream at the
+// scheduled block no matter how often it is retried, and Configure installs
+// a plan from CSR JSON (the serving catalog's path) while forwarding the
+// inner CSR.
+func TestFaultAccelTerminalAndConfigure(t *testing.T) {
+	f := NewFaultAccel(NewNull(), FaultPlan{})
+	if err := f.Configure([]byte(`{"terminal_after":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		if _, err := f.Process([]Word{1}); err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		_, err := f.Process([]Word{1})
+		if err == nil {
+			t.Fatal("terminal block succeeded")
+		}
+		if IsTransient(err) {
+			t.Fatal("terminal fault marked transient")
+		}
+	}
+	if st := f.Stats(); st.Terminal != 3 || st.Transient != 0 {
+		t.Fatalf("stats = %+v, want 3 terminal", st)
+	}
+	if err := f.Configure([]byte(`{not json`)); err == nil {
+		t.Fatal("invalid plan JSON accepted")
+	}
+}

@@ -40,10 +40,15 @@ type Health struct {
 	Err     string        `json:"err,omitempty"`
 	Stalled bool          `json:"stalled,omitempty"`
 	Idle    time.Duration `json:"idle_ns"`
+	// Degraded, when non-empty, says the component has absorbed contained
+	// faults (retried transients, killed sessions) but is still serving:
+	// /healthz stays 200 with status "degraded" so orchestrators keep the
+	// process alive while operators see the damage report.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // Healthy reports whether this component is live: not stalled and not
-// parked with a terminal error.
+// parked with a terminal error. A merely degraded component is healthy.
 func (h Health) Healthy() bool { return h.Err == "" && !h.Stalled }
 
 // Options wires a Server to the runtime. Every field is optional; endpoints
@@ -158,7 +163,7 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 
 // healthzBody is the /healthz JSON document.
 type healthzBody struct {
-	Status  string   `json:"status"` // "ok" or "unhealthy"
+	Status  string   `json:"status"` // "ok", "degraded" or "unhealthy"
 	Engines []Health `json:"engines"`
 }
 
@@ -173,6 +178,9 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 			body.Status = "unhealthy"
 			code = http.StatusServiceUnavailable
 			break
+		}
+		if h.Degraded != "" {
+			body.Status = "degraded" // still 200: degraded-but-alive
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -104,6 +104,39 @@ func TestHealthzStalledAndParkedAre503(t *testing.T) {
 	}
 }
 
+// TestHealthzDegradedStays200: contained faults mark the service degraded —
+// visible in the status field — but keep it alive from an orchestrator's
+// point of view. An actual unhealthy component still wins and flips to 503.
+func TestHealthzDegradedStays200(t *testing.T) {
+	s := New(Options{Health: func() []Health {
+		return []Health{
+			{Name: "sched", Degraded: "2 terminal faults, 1 kill contained"},
+			{Name: "dgemm", Idle: time.Millisecond},
+		}
+	}})
+	rec, body := get(t, s.Handler(), "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 for degraded-but-alive; body %s", rec.Code, body)
+	}
+	var doc healthzBody
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "degraded" {
+		t.Errorf("status field = %q, want degraded", doc.Status)
+	}
+
+	s = New(Options{Health: func() []Health {
+		return []Health{
+			{Name: "sched", Degraded: "1 kill contained"},
+			{Name: "dgemm", Err: "device fault"},
+		}
+	}})
+	if rec, _ := get(t, s.Handler(), "/healthz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503 when a component is unhealthy alongside degradation", rec.Code)
+	}
+}
+
 func TestHealthzNoSourceIsOK(t *testing.T) {
 	rec, _ := get(t, New(Options{}).Handler(), "/healthz")
 	if rec.Code != http.StatusOK {

@@ -89,6 +89,17 @@ type Config struct {
 	// runs) and *cohort.FlightRecorder (ring-buffered, for long-running
 	// daemons) satisfy Tracer.
 	Trace Tracer
+	// Retries is the per-block retry budget for transient accelerator faults
+	// (cohort.IsTransient): a faulting block is re-run up to Retries times
+	// before the fault is treated as terminal and the session is retired.
+	// Unmarked errors retire the session immediately regardless. Default 0 —
+	// every fault is terminal, the pre-fault-model behavior.
+	Retries int
+	// RetryBackoff is the pause before the first retry, doubling per attempt
+	// (capped at 64×). Zero retries immediately. The pause runs on the worker
+	// serving the session, so a retry storm costs that tenant its own quantum
+	// time — other sessions keep their shares.
+	RetryBackoff time.Duration
 }
 
 // Tracer is the track factory a scheduler records onto — the method shared
@@ -133,6 +144,8 @@ type SessionStats struct {
 	Quanta       uint64 // scheduling quanta in which the session ran
 	Switches     uint64 // times a worker swapped onto this session
 	DroppedWords uint64 // trailing partial-block words dropped at end of stream
+	Retries      uint64 // transient-fault retry attempts spent on this session
+	Recovered    uint64 // blocks that completed after one or more retries
 }
 
 // SessionInfo is one live session's row in the /sessions JSON document.
@@ -149,6 +162,8 @@ type SessionInfo struct {
 	Quanta       uint64  `json:"quanta"`
 	Switches     uint64  `json:"switches"`
 	DroppedWords uint64  `json:"dropped_words,omitempty"`
+	Retries      uint64  `json:"retries,omitempty"`
+	Recovered    uint64  `json:"recovered,omitempty"`
 	InQueued     int     `json:"in_queued"`
 	OutQueued    int     `json:"out_queued"`
 	InClosed     bool    `json:"in_closed,omitempty"`
@@ -181,12 +196,14 @@ type Session struct {
 	done   chan struct{}
 	errp   atomic.Pointer[error]
 
-	blocks   atomic.Uint64
-	wordsIn  atomic.Uint64
-	wordsOut atomic.Uint64
-	quanta   atomic.Uint64
-	switches atomic.Uint64
-	dropped  atomic.Uint64
+	blocks    atomic.Uint64
+	wordsIn   atomic.Uint64
+	wordsOut  atomic.Uint64
+	quanta    atomic.Uint64
+	switches  atomic.Uint64
+	dropped   atomic.Uint64
+	retries   atomic.Uint64
+	recovered atomic.Uint64
 
 	// Precomputed names so the serve loop never formats.
 	serveSpan  string
@@ -252,6 +269,8 @@ func (ss *Session) Stats() SessionStats {
 		Quanta:       ss.quanta.Load(),
 		Switches:     ss.switches.Load(),
 		DroppedWords: ss.dropped.Load(),
+		Retries:      ss.retries.Load(),
+		Recovered:    ss.recovered.Load(),
 	}
 }
 
@@ -278,6 +297,45 @@ type Scheduler struct {
 	admitted   atomic.Uint64
 	rejections atomic.Uint64
 	retirals   atomic.Uint64
+
+	faultsTransient atomic.Uint64 // transient accelerator faults retried
+	faultsRecovered atomic.Uint64 // blocks completed after retries
+	faultsTerminal  atomic.Uint64 // sessions retired by a terminal accelerator fault
+	kills           atomic.Uint64 // sessions retired by Kill
+}
+
+// SchedStats is a snapshot of the scheduler's service-wide counters — the
+// containment scoreboard the chaos harness asserts over.
+type SchedStats struct {
+	Decisions       uint64 // scheduling decisions dispatched
+	Swaps           uint64 // worker swaps between sessions
+	Admitted        uint64 // sessions admitted
+	Rejected        uint64 // registrations refused by admission control
+	Retired         uint64 // sessions fully retired
+	Live            uint64 // sessions currently live
+	TransientFaults uint64 // transient accelerator faults retried
+	Recovered       uint64 // blocks completed after one or more retries
+	TerminalFaults  uint64 // sessions retired by a terminal accelerator fault
+	Kills           uint64 // sessions retired by Kill
+}
+
+// Stats snapshots the scheduler's counters.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	live := uint64(len(s.sessions))
+	s.mu.Unlock()
+	return SchedStats{
+		Decisions:       s.decisions.Load(),
+		Swaps:           s.swaps.Load(),
+		Admitted:        s.admitted.Load(),
+		Rejected:        s.rejections.Load(),
+		Retired:         s.retirals.Load(),
+		Live:            live,
+		TransientFaults: s.faultsTransient.Load(),
+		Recovered:       s.faultsRecovered.Load(),
+		TerminalFaults:  s.faultsTerminal.Load(),
+		Kills:           s.kills.Load(),
+	}
 }
 
 // New starts a scheduler with cfg's worker pool. Close it when done.
@@ -319,6 +377,10 @@ func New(cfg Config) *Scheduler {
 				{Name: "rejected", Value: s.rejections.Load()},
 				{Name: "retired", Value: s.retirals.Load()},
 				{Name: "sessions", Value: live},
+				{Name: "transient_faults", Value: s.faultsTransient.Load()},
+				{Name: "recovered", Value: s.faultsRecovered.Load()},
+				{Name: "terminal_faults", Value: s.faultsTerminal.Load()},
+				{Name: "kills", Value: s.kills.Load()},
 			}
 		})
 	}
@@ -423,6 +485,8 @@ func (s *Scheduler) Register(cfg SessionConfig) (*Session, error) {
 				{Name: "quanta", Value: st.Quanta},
 				{Name: "switches", Value: st.Switches},
 				{Name: "dropped_words", Value: st.DroppedWords},
+				{Name: "retries", Value: st.Retries},
+				{Name: "recovered", Value: st.Recovered},
 				{Name: "weight", Value: uint64(ss.weight)},
 				{Name: "in_queued", Value: uint64(ss.in.Len())},
 				{Name: "out_queued", Value: uint64(ss.out.Len())},
@@ -432,6 +496,20 @@ func (s *Scheduler) Register(cfg SessionConfig) (*Session, error) {
 	s.mu.Unlock()
 	s.kickWorkers()
 	return ss, nil
+}
+
+// Kill forcibly tears down the live session with the given id (see
+// Session.Kill) — the operator's containment lever. Reports whether a
+// session with that id was live.
+func (s *Scheduler) Kill(id uint64) bool {
+	s.mu.Lock()
+	ss := s.sessions[id]
+	s.mu.Unlock()
+	if ss == nil {
+		return false
+	}
+	ss.Kill()
+	return true
 }
 
 // Sessions snapshots every live session, sorted by id — the /sessions
@@ -447,6 +525,7 @@ func (s *Scheduler) Sessions() []SessionInfo {
 			Weight: ss.weight, Quota: ss.quota, Pass: ss.pass,
 			Blocks: st.Blocks, WordsIn: st.WordsIn, WordsOut: st.WordsOut,
 			Quanta: st.Quanta, Switches: st.Switches, DroppedWords: st.DroppedWords,
+			Retries: st.Retries, Recovered: st.Recovered,
 			InQueued: ss.in.Len(), OutQueued: ss.out.Len(), InClosed: ss.in.Closed(),
 		}
 		if err := ss.Err(); err != nil {
@@ -644,6 +723,7 @@ func (s *Scheduler) worker(i int) {
 func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session) {
 	if ss.killed.Load() {
 		ss.fail(ErrKilled)
+		s.kills.Add(1)
 		s.retire(ss)
 		return
 	}
@@ -690,14 +770,27 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session) {
 	ss.in.CommitRead(n)
 	ss.wordsIn.Add(uint64(n))
 	for blk := 0; blk < blocks; blk++ {
-		res, err := ss.acc.Process(ss.buf[blk*inW : (blk+1)*inW])
+		res, err := s.processBlock(ss, ss.buf[blk*inW:(blk+1)*inW])
 		if err != nil {
-			ss.fail(fmt.Errorf("sched: accelerator %s failed for tenant %s: %w", ss.acc.Name(), ss.tenant, err))
+			if errors.Is(err, ErrClosed) {
+				// Scheduler stopping mid-retry: release the session without a
+				// verdict; Close retires everything with ErrClosed.
+				s.finishServe(ss, blk)
+				return
+			}
+			if errors.Is(err, ErrKilled) {
+				ss.fail(ErrKilled)
+				s.kills.Add(1)
+			} else {
+				ss.fail(fmt.Errorf("sched: accelerator %s failed for tenant %s: %w", ss.acc.Name(), ss.tenant, err))
+				s.faultsTerminal.Add(1)
+			}
 			s.retire(ss)
 			return
 		}
 		if !s.pushOut(ss, res) {
 			ss.fail(ErrKilled)
+			s.kills.Add(1)
 			s.retire(ss)
 			return
 		}
@@ -708,6 +801,46 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session) {
 		trk.End(ss.serveSpan, t0)
 	}
 	s.finishServe(ss, blocks)
+}
+
+// processBlock runs one block through the session's accelerator, retrying
+// transient faults (cohort.IsTransient) up to Config.Retries times with a
+// doubling backoff. The retry pause runs on the serving worker: a flaky
+// tenant burns its own service time, not its neighbors'. Returns ErrKilled
+// if the session is killed mid-retry, ErrClosed if the scheduler stops, or
+// the accelerator's error once the budget is exhausted (or immediately for
+// an unmarked, terminal error).
+func (s *Scheduler) processBlock(ss *Session, in []cohort.Word) ([]cohort.Word, error) {
+	res, err := ss.acc.Process(in)
+	if err == nil {
+		return res, nil
+	}
+	pause := s.cfg.RetryBackoff
+	for attempt := 0; attempt < s.cfg.Retries && cohort.IsTransient(err); attempt++ {
+		ss.retries.Add(1)
+		s.faultsTransient.Add(1)
+		if pause > 0 {
+			t := time.NewTimer(pause)
+			select {
+			case <-s.stop:
+				t.Stop()
+				return nil, ErrClosed
+			case <-t.C:
+			}
+			if pause < 64*s.cfg.RetryBackoff {
+				pause *= 2
+			}
+		}
+		if ss.killed.Load() {
+			return nil, ErrKilled
+		}
+		if res, err = ss.acc.Process(in); err == nil {
+			ss.recovered.Add(1)
+			s.faultsRecovered.Add(1)
+			return res, nil
+		}
+	}
+	return nil, err
 }
 
 // pushOut publishes one block's results into the session output queue. The

@@ -136,17 +136,19 @@ func (sv *Server) handle(c net.Conn) {
 	}
 	var req wire.OpenRequest
 	if err := wire.Unmarshal(t, payload, &req); err != nil {
-		fw.JSON(wire.Error, wire.ErrorReply{Message: err.Error()})
+		fw.JSON(wire.Error, wire.ErrorReply{Message: err.Error(), Code: wire.CodeBadRequest})
 		return
 	}
 	factory, ok := sv.catalog[req.Accel]
 	if !ok {
-		fw.JSON(wire.Error, wire.ErrorReply{Message: fmt.Sprintf("unknown accelerator %q", req.Accel)})
+		fw.JSON(wire.Error, wire.ErrorReply{
+			Message: fmt.Sprintf("unknown accelerator %q", req.Accel), Code: wire.CodeUnknownAccel,
+		})
 		return
 	}
 	acc, err := factory()
 	if err != nil {
-		fw.JSON(wire.Error, wire.ErrorReply{Message: err.Error()})
+		fw.JSON(wire.Error, wire.ErrorReply{Message: err.Error(), Code: wire.CodeBadRequest})
 		return
 	}
 	ss, err := sv.sch.Register(SessionConfig{
@@ -154,7 +156,14 @@ func (sv *Server) handle(c net.Conn) {
 		Weight: req.Weight, Quota: req.Quota, QueueCap: req.QueueCap,
 	})
 	if err != nil {
-		fw.JSON(wire.Error, wire.ErrorReply{Message: err.Error()})
+		code := wire.CodeBadRequest
+		switch {
+		case errors.Is(err, ErrTooManySessions):
+			code = wire.CodeAdmission
+		case errors.Is(err, ErrClosed):
+			code = wire.CodeClosed
+		}
+		fw.JSON(wire.Error, wire.ErrorReply{Message: err.Error(), Code: code})
 		return
 	}
 	if err := fw.JSON(wire.OpenOK, wire.OpenReply{
@@ -262,15 +271,40 @@ func (sv *Server) pumpResults(c net.Conn, ss *Session) {
 		}
 	}
 	st := ss.Stats()
+	serr := ss.Err()
+	if serr != nil && (errors.Is(serr, ErrKilled) || retireCode(serr) == wire.CodeFault) {
+		// The session died mid-stream (accelerator fault, kill): an Error
+		// frame is the final word, so the client surfaces a typed error
+		// instead of a truncated-looking stream.
+		fw.JSON(wire.Error, wire.ErrorReply{Message: serr.Error(), Code: retireCode(serr)})
+		c.Close()
+		return
+	}
 	done := wire.DoneReply{
 		Blocks: st.Blocks, WordsIn: st.WordsIn, WordsOut: st.WordsOut,
 		DroppedWords: st.DroppedWords,
 	}
-	if err := ss.Err(); err != nil {
-		done.Err = err.Error()
+	if serr != nil {
+		done.Err = serr.Error()
+		done.Code = retireCode(serr)
 	}
 	fw.JSON(wire.Done, done)
-	// Closing here (not in handle) makes Done reliably the last thing the
-	// client sees even while the reader half is still parked in a read.
+	// Closing here (not in handle) makes the final frame reliably the last
+	// thing the client sees even while the reader half is still parked in a
+	// read.
 	c.Close()
+}
+
+// retireCode maps a session's terminal error to its wire code.
+func retireCode(err error) string {
+	switch {
+	case errors.Is(err, ErrQuotaExceeded):
+		return wire.CodeQuota
+	case errors.Is(err, ErrClosed):
+		return wire.CodeClosed
+	case errors.Is(err, ErrKilled):
+		return wire.CodeKilled
+	default:
+		return wire.CodeFault
+	}
 }

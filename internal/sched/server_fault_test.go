@@ -1,0 +1,286 @@
+package sched_test
+
+// Wire-level fault and containment tests: what a remote tenant actually
+// observes when the daemon is full, its accelerator dies, or its session is
+// killed. Before error codes existed the client saw a raw io.EOF or a
+// connection reset for all of these; now each maps to a typed error.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cohort"
+	"cohort/client"
+	"cohort/internal/sched"
+)
+
+// startChaosServer is startServer with a catalog that includes a
+// fault-injectable null engine: the tenant's CSR bytes are decoded as a
+// cohort.FaultPlan (FaultAccel.Configure), so each session carries its own
+// fault schedule over the wire.
+func startChaosServer(t *testing.T, cfg sched.Config) (*sched.Scheduler, string) {
+	t.Helper()
+	catalog := sched.DefaultCatalog()
+	catalog["chaos-null"] = func() (cohort.Accelerator, error) {
+		return cohort.NewFaultAccel(cohort.NewNull(), cohort.FaultPlan{}), nil
+	}
+	s := sched.New(cfg)
+	sv := sched.NewServer(s, catalog)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); sv.Serve(ln) }()
+	t.Cleanup(func() {
+		sv.Close()
+		s.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not stop")
+		}
+	})
+	return s, ln.Addr().String()
+}
+
+// plan marshals a FaultPlan into session CSR bytes.
+func plan(t *testing.T, p cohort.FaultPlan) []byte {
+	t.Helper()
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestServerAdmissionTyped: at MaxSessions the client gets ErrAdmission — a
+// typed, retryable rejection (still matching ErrRejected for old callers) —
+// not an io.EOF or a reset.
+func TestServerAdmissionTyped(t *testing.T) {
+	_, addr := startChaosServer(t, sched.Config{Engines: 1, MaxSessions: 1, QueueCap: 64})
+	c1, err := client.Connect(addr, client.Options{Tenant: "a", Accel: "null"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Connect(addr, client.Options{Tenant: "b", Accel: "null"})
+	if !errors.Is(err, client.ErrAdmission) {
+		t.Fatalf("Connect at MaxSessions = %v, want ErrAdmission", err)
+	}
+	if !errors.Is(err, client.ErrRejected) {
+		t.Fatalf("ErrAdmission does not match ErrRejected: %v", err)
+	}
+
+	// Reconnect-with-backoff rides the typed rejection: free the slot while
+	// the second tenant is retrying and its Connect must succeed.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		c1.CloseSend()
+		for {
+			if _, err := c1.Recv(); err != nil {
+				break
+			}
+		}
+		c1.Close()
+	}()
+	c2, err := client.Connect(addr, client.Options{
+		Tenant: "b", Accel: "null",
+		Reconnect: 20, ReconnectBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("reconnect never got the freed slot: %v", err)
+	}
+	defer c2.Close()
+	out, _, err := c2.Stream([]cohort.Word{1, 2, 3})
+	if err != nil || len(out) != 3 {
+		t.Fatalf("reconnected stream = %v words, err %v", out, err)
+	}
+}
+
+// TestServerUnknownAccelNotRetried: a deliberate rejection is final —
+// Reconnect must not burn attempts on it.
+func TestServerUnknownAccelNotRetried(t *testing.T) {
+	_, addr := startChaosServer(t, sched.Config{Engines: 1, QueueCap: 64})
+	start := time.Now()
+	_, err := client.Connect(addr, client.Options{
+		Tenant: "x", Accel: "fpga9000",
+		Reconnect: 10, ReconnectBackoff: 200 * time.Millisecond,
+	})
+	if !errors.Is(err, client.ErrRejected) || errors.Is(err, client.ErrAdmission) {
+		t.Fatalf("unknown accel err = %v, want plain ErrRejected", err)
+	}
+	if d := time.Since(start); d > 150*time.Millisecond {
+		t.Fatalf("deliberate rejection was retried (%v elapsed)", d)
+	}
+}
+
+// TestServerFaultTyped: a terminal accelerator fault mid-stream surfaces to
+// the faulting tenant as ErrFault with its pre-fault results delivered, while
+// a concurrent innocent tenant's stream is untouched.
+func TestServerFaultTyped(t *testing.T) {
+	s, addr := startChaosServer(t, sched.Config{Engines: 1, Quantum: 4, QueueCap: 64, Retries: 2})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the innocent tenant, concurrent with the faulting one
+		defer wg.Done()
+		c, err := client.Connect(addr, client.Options{Tenant: "innocent", Accel: "null"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		in := make([]cohort.Word, 400)
+		for i := range in {
+			in[i] = cohort.Word(i) * 11
+		}
+		out, _, err := c.Stream(in)
+		if err != nil {
+			t.Errorf("innocent tenant: %v", err)
+			return
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Errorf("innocent word %d = %d, want %d", i, out[i], in[i])
+				return
+			}
+		}
+	}()
+
+	c, err := client.Connect(addr, client.Options{
+		Tenant: "doomed", Accel: "chaos-null",
+		CSR: plan(t, cohort.FaultPlan{TerminalAfter: 10}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, _, err := c.Stream(make([]cohort.Word, 50))
+	if !errors.Is(err, client.ErrFault) {
+		t.Fatalf("faulting stream err = %v, want ErrFault", err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("faulting stream delivered %d pre-fault words, want 10", len(out))
+	}
+	wg.Wait()
+	if sc := s.Stats(); sc.TerminalFaults != 1 {
+		t.Fatalf("sched stats = %+v, want 1 terminal fault", sc)
+	}
+}
+
+// TestServerTransientRecoveryOverWire: with a server-side retry budget, a
+// transiently faulting session completes its stream bit-exactly; the tenant
+// never learns there was a fault except through the counters.
+func TestServerTransientRecoveryOverWire(t *testing.T) {
+	s, addr := startChaosServer(t, sched.Config{Engines: 1, Quantum: 4, QueueCap: 64, Retries: 3})
+	c, err := client.Connect(addr, client.Options{
+		Tenant: "flaky", Accel: "chaos-null",
+		CSR: plan(t, cohort.FaultPlan{
+			Transient: []cohort.TransientFault{{Block: 5, Count: 2}},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in := make([]cohort.Word, 30)
+	for i := range in {
+		in[i] = cohort.Word(i) * 13
+	}
+	out, res, err := c.Stream(in)
+	if err != nil {
+		t.Fatalf("recovered stream errored: %v", err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("word %d = %d, want %d", i, out[i], in[i])
+		}
+	}
+	if res.Err != "" || res.Blocks != 30 {
+		t.Fatalf("done reply = %+v", res)
+	}
+	if sc := s.Stats(); sc.TransientFaults != 2 || sc.Recovered != 1 {
+		t.Fatalf("sched stats = %+v, want 2 transient faults / 1 recovered", sc)
+	}
+}
+
+// TestServerKilledTyped: an operator kill mid-stream reaches the client as
+// ErrKilled — the final Error frame replaces the old bare connection close.
+func TestServerKilledTyped(t *testing.T) {
+	s, addr := startChaosServer(t, sched.Config{Engines: 1, QueueCap: 64})
+	c, err := client.Connect(addr, client.Options{Tenant: "target", Accel: "null"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(make([]cohort.Word, 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the session is visible, then kill it by id.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ses := s.Sessions(); len(ses) == 1 {
+			s.Kill(ses[0].ID)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for {
+		_, err = c.Recv()
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, client.ErrKilled) {
+		t.Fatalf("Recv after kill = %v, want ErrKilled", err)
+	}
+}
+
+// TestServerCorruptionDeterministic: silent data corruption injected by a
+// seeded plan is reproducible — the exact property the chaos harness's
+// integrity oracle depends on. Two identical sessions must return identical
+// corrupted streams, matching a local FaultAccel run of the same plan.
+func TestServerCorruptionDeterministic(t *testing.T) {
+	_, addr := startChaosServer(t, sched.Config{Engines: 1, Quantum: 4, QueueCap: 64})
+	p := cohort.FaultPlan{Corrupt: []int{2, 3, 7}, Seed: 12345}
+	in := make([]cohort.Word, 10)
+	for i := range in {
+		in[i] = cohort.Word(i) * 17
+	}
+	run := func(tenant string) []cohort.Word {
+		c, err := client.Connect(addr, client.Options{Tenant: tenant, Accel: "chaos-null", CSR: plan(t, p)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		out, _, err := c.Stream(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	out1 := run("c1")
+	out2 := run("c2")
+	if fmt.Sprint(out1) != fmt.Sprint(out2) {
+		t.Fatalf("corrupted streams diverge:\n%v\n%v", out1, out2)
+	}
+	// Local oracle: the same plan over a local FaultAccel.
+	f := cohort.NewFaultAccel(cohort.NewNull(), p)
+	for i, w := range in {
+		res, err := f.Process([]cohort.Word{w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0] != out1[i] {
+			t.Fatalf("word %d: wire %#x vs local oracle %#x", i, out1[i], res[0])
+		}
+	}
+}

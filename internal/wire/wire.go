@@ -16,8 +16,10 @@
 //	                          <---  Data* ... Done{stats,err}
 //
 // Data flows full-duplex after OpenOK: the server streams results as blocks
-// complete, while the client is still sending. Done is always the server's
-// final frame; the connection closes after it.
+// complete, while the client is still sending. The server's final frame is
+// Done for a stream that ran to completion (cleanly, or retired by quota or
+// shutdown — DoneReply.Err/Code say which), or Error for a session that died
+// mid-stream (accelerator fault, kill); the connection closes after either.
 package wire
 
 import (
@@ -88,10 +90,38 @@ type OpenReply struct {
 	OutWords int    `json:"out_words"`
 }
 
+// Machine-readable error codes carried by ErrorReply.Code and DoneReply.Code
+// so clients can map server-side failures to typed errors instead of string
+// matching (or, worse, a bare connection reset).
+const (
+	// CodeAdmission: the scheduler's admission control rejected the Open
+	// (MaxSessions live sessions). Retryable — capacity frees as sessions
+	// retire.
+	CodeAdmission = "admission"
+	// CodeUnknownAccel: the requested accelerator is not in the catalog.
+	CodeUnknownAccel = "unknown-accel"
+	// CodeBadRequest: the Open was malformed (bad JSON, bad CSR, invalid
+	// geometry).
+	CodeBadRequest = "bad-request"
+	// CodeKilled: the session was forcibly torn down (operator kill, dead
+	// peer) before its stream finished.
+	CodeKilled = "killed"
+	// CodeQuota: the session consumed its block quota and was retired.
+	CodeQuota = "quota"
+	// CodeFault: the session's accelerator failed terminally mid-stream;
+	// results already delivered are suspect only if the fault corrupted data
+	// silently (checksum at the application layer).
+	CodeFault = "fault"
+	// CodeClosed: the server is shutting down.
+	CodeClosed = "closed"
+)
+
 // ErrorReply rejects an Open (admission control, unknown accelerator, bad
-// CSR). The connection closes after it.
+// CSR) or — mid-stream, as the final frame in place of Done — reports that
+// the session died (accelerator fault, kill). The connection closes after it.
 type ErrorReply struct {
 	Message string `json:"message"`
+	Code    string `json:"code,omitempty"` // one of the Code* constants
 }
 
 // DoneReply is the server's final word on a session: its counters and, when
@@ -102,6 +132,7 @@ type DoneReply struct {
 	WordsOut     uint64 `json:"words_out"`
 	DroppedWords uint64 `json:"dropped_words,omitempty"`
 	Err          string `json:"err,omitempty"`
+	Code         string `json:"code,omitempty"` // one of the Code* constants
 }
 
 // Writer frames outbound messages. Not safe for concurrent use; give each

@@ -312,6 +312,8 @@ func RegisterEngine(r *Registry, name string, e *Engine) {
 			{Name: "wakeups", Value: s.Wakeups},
 			{Name: "backoff_sleeps", Value: s.BackoffSleeps},
 			{Name: "errors", Value: s.Errors},
+			{Name: "retries", Value: s.Retries},
+			{Name: "recovered", Value: s.Recovered},
 			{Name: "dropped_words", Value: s.DroppedWords},
 			{Name: "drain_ns", Histo: &h},
 		}

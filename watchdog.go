@@ -71,10 +71,11 @@ type StallEvent struct {
 // EngineHealth is one watched engine's liveness snapshot, served by
 // /healthz when the watchdog is wired into an obsrv server.
 type EngineHealth struct {
-	Engine  string
-	Err     error         // terminal accelerator error; the engine has parked
-	Stalled bool          // no progress for a window with work pending
-	Idle    time.Duration // time since progress was last observed
+	Engine    string
+	Err       error         // terminal accelerator error; the engine has parked
+	Stalled   bool          // no progress for a window with work pending
+	Idle      time.Duration // time since progress was last observed
+	Recovered uint64        // blocks recovered via WithRetry — flaky but alive
 }
 
 // WatchdogOption tunes NewWatchdog.
@@ -160,10 +161,11 @@ func (w *Watchdog) Health() []EngineHealth {
 	out := make([]EngineHealth, 0, len(w.watched))
 	for name, en := range w.watched {
 		out = append(out, EngineHealth{
-			Engine:  name,
-			Err:     en.e.Err(),
-			Stalled: en.stalled,
-			Idle:    now.Sub(en.lastMove),
+			Engine:    name,
+			Err:       en.e.Err(),
+			Stalled:   en.stalled,
+			Idle:      now.Sub(en.lastMove),
+			Recovered: en.e.recovered.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Engine < out[j].Engine })
