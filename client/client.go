@@ -51,6 +51,11 @@ type Options struct {
 	ReconnectBackoff time.Duration
 	// ReconnectMax caps the doubling backoff (default 2s).
 	ReconnectMax time.Duration
+	// LegacyCodec selects the pre-coalescing wire codec: copy-framed sends
+	// and an allocation per received frame, exactly the pre-batching client
+	// hot path. Kept so cohortload can A/B the zero-copy path against what
+	// it replaced; never set it in production.
+	LegacyCodec bool
 }
 
 // ErrRejected wraps the daemon's refusal to open the session (admission
@@ -75,8 +80,9 @@ var ErrKilled = errors.New("cohort client: session killed")
 // application layer.
 var ErrFault = errors.New("cohort client: accelerator fault")
 
-// Conn is one open session. Send/CloseSend may run concurrently with Recv
-// (one goroutine each); no method may be called concurrently with itself.
+// Conn is one open session. Send/CloseSend may run concurrently with Recv,
+// RecvInto (one goroutine each side); no method may be called concurrently
+// with itself or, on the same side, with each other.
 type Conn struct {
 	c       net.Conn
 	r       *wire.Reader
@@ -84,7 +90,12 @@ type Conn struct {
 	session uint64
 	inW     int
 	outW    int
+	legacy  bool
 
+	// pending is the unconsumed tail of the last received Data frame (it
+	// aliases the reader's pooled buffer on the fast path), carried across
+	// RecvInto calls smaller than a frame.
+	pending []cohort.Word
 	result  *wire.DoneReply
 	recvErr error
 }
@@ -140,7 +151,7 @@ func connect(addr string, opts Options) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cohort client: dial %s: %w", addr, err)
 	}
-	c := &Conn{c: nc, r: wire.NewReader(nc), w: wire.NewWriter(nc)}
+	c := &Conn{c: nc, r: wire.NewReader(nc), w: wire.NewWriter(nc), legacy: opts.LegacyCodec}
 	if err := c.w.JSON(wire.Open, wire.OpenRequest{
 		Tenant: opts.Tenant, Accel: opts.Accel, CSR: opts.CSR,
 		Weight: opts.Weight, Quota: opts.Quota, QueueCap: opts.QueueCap,
@@ -188,10 +199,30 @@ func (c *Conn) InWords() int { return c.inW }
 // OutWords returns the accelerator's output block size in words.
 func (c *Conn) OutWords() int { return c.outW }
 
-// Send streams ws to the session. Words need not align to blocks per call;
-// the daemon assembles blocks across frames.
+// Send streams ws as one Data frame. Words need not align to blocks per
+// call; the daemon assembles blocks across frames. On little-endian hosts ws
+// is handed to the kernel zero-copy (header and payload in one writev); it is
+// not retained — the caller may reuse it as soon as Send returns. Batching
+// many blocks per Send is the single biggest lever on serving throughput:
+// one frame and one syscall amortize over every block in the slice.
 func (c *Conn) Send(ws []cohort.Word) error {
-	if err := c.w.Words(ws); err != nil {
+	var err error
+	if c.legacy {
+		err = c.w.WordsCopy(ws)
+	} else {
+		err = c.w.Words(ws)
+	}
+	if err != nil {
+		return fmt.Errorf("cohort client: send data: %w", err)
+	}
+	return nil
+}
+
+// SendN coalesces several word slices into a single Data frame (one writev,
+// no joining copy) — for producers whose pending blocks live in scattered
+// buffers, e.g. a queue's two ring segments.
+func (c *Conn) SendN(segs ...[]cohort.Word) error {
+	if err := c.w.WordsN(segs...); err != nil {
 		return fmt.Errorf("cohort client: send data: %w", err)
 	}
 	return nil
@@ -208,10 +239,11 @@ func (c *Conn) CloseSend() error {
 	return nil
 }
 
-// Recv returns the next chunk of result words. It returns io.EOF once the
-// stream is complete — after which Result holds the session's final
-// counters. The returned slice is owned by the caller.
-func (c *Conn) Recv() ([]cohort.Word, error) {
+// nextData advances the result stream to the next non-empty Data frame,
+// absorbing Done and Error frames along the way. On the fast path the
+// returned slice aliases the wire reader's pooled buffer: it is valid until
+// the next read and must not be handed to the application without a copy.
+func (c *Conn) nextData() ([]cohort.Word, error) {
 	if c.result != nil {
 		return nil, io.EOF
 	}
@@ -219,17 +251,31 @@ func (c *Conn) Recv() ([]cohort.Word, error) {
 		return nil, c.recvErr
 	}
 	for {
-		t, payload, err := c.r.Next()
+		var t wire.Type
+		var ws []cohort.Word
+		var payload []byte
+		var err error
+		if c.legacy {
+			t, payload, err = c.r.Next()
+		} else {
+			t, ws, payload, err = c.r.NextData()
+		}
 		if err != nil {
 			c.recvErr = fmt.Errorf("cohort client: recv: %w", err)
 			return nil, c.recvErr
 		}
 		switch t {
 		case wire.Data:
-			if len(payload) == 0 {
+			if c.legacy {
+				if ws, err = wire.Words(payload); err != nil {
+					c.recvErr = err
+					return nil, err
+				}
+			}
+			if len(ws) == 0 {
 				continue
 			}
-			return wire.Words(payload)
+			return ws, nil
 		case wire.Done:
 			var done wire.DoneReply
 			if err := wire.Unmarshal(t, payload, &done); err != nil {
@@ -266,6 +312,55 @@ func (c *Conn) Recv() ([]cohort.Word, error) {
 	}
 }
 
+// Recv returns the next chunk of result words. It returns io.EOF once the
+// stream is complete — after which Result holds the session's final
+// counters. The returned slice is owned by the caller. Hot loops that can
+// reuse a buffer should prefer RecvInto, which skips this method's per-chunk
+// allocation.
+func (c *Conn) Recv() ([]cohort.Word, error) {
+	ws := c.pending
+	if len(ws) == 0 {
+		var err error
+		if ws, err = c.nextData(); err != nil {
+			return nil, err
+		}
+	}
+	c.pending = nil
+	if c.legacy {
+		// Legacy decode already allocated a fresh slice; hand it over.
+		return ws, nil
+	}
+	out := make([]cohort.Word, len(ws))
+	copy(out, ws)
+	c.r.Release()
+	return out, nil
+}
+
+// RecvInto fills buf with the next result words and returns how many were
+// written — the zero-allocation receive: frames decode into pooled wire
+// buffers and copy once into buf, and a frame larger than buf carries over
+// to the next call. Returns io.EOF exactly like Recv. buf must not be empty.
+func (c *Conn) RecvInto(buf []cohort.Word) (int, error) {
+	if len(buf) == 0 {
+		return 0, errors.New("cohort client: RecvInto with empty buffer")
+	}
+	ws := c.pending
+	if len(ws) == 0 {
+		var err error
+		if ws, err = c.nextData(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(buf, ws)
+	if n < len(ws) {
+		c.pending = ws[n:]
+	} else {
+		c.pending = nil
+		c.r.Release()
+	}
+	return n, nil
+}
+
 // Result returns the daemon's final session counters. Nil until Recv has
 // returned io.EOF (or a session-ended error).
 func (c *Conn) Result() *wire.DoneReply { return c.result }
@@ -293,15 +388,16 @@ func (c *Conn) Stream(in []cohort.Word) ([]cohort.Word, *wire.DoneReply, error) 
 	}()
 	var out []cohort.Word
 	var recvErr error
+	buf := make([]cohort.Word, 4096)
 	for {
-		ws, err := c.Recv()
+		n, err := c.RecvInto(buf)
 		if err != nil {
 			if err != io.EOF {
 				recvErr = err
 			}
 			break
 		}
-		out = append(out, ws...)
+		out = append(out, buf[:n]...)
 	}
 	// The send goroutine cannot still be blocked: the daemon has sent Done,
 	// so its reader consumed (or discarded) everything we wrote.

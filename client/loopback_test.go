@@ -1,0 +1,220 @@
+package client_test
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"cohort"
+	"cohort/client"
+	"cohort/internal/sched"
+)
+
+// echoAcc is a block pass-through whose result slice reuses a fixed backing
+// array, so Process itself is allocation-free (the serving twin of the one
+// in the root package's allocs_test.go).
+type echoAcc struct{ out []cohort.Word }
+
+func newEcho(block int) *echoAcc { return &echoAcc{out: make([]cohort.Word, block)} }
+
+func (e *echoAcc) Name() string               { return "echo" }
+func (e *echoAcc) InWords() int               { return len(e.out) }
+func (e *echoAcc) OutWords() int              { return len(e.out) }
+func (e *echoAcc) Configure(csr []byte) error { return nil }
+func (e *echoAcc) Process(in []cohort.Word) ([]cohort.Word, error) {
+	copy(e.out, in)
+	return e.out, nil
+}
+
+// startLoopback brings up a real scheduler and TCP server on 127.0.0.1 with
+// an "echo" catalog entry of the given block size.
+func startLoopback(tb testing.TB, block int, legacyWire bool) (addr string, stop func()) {
+	tb.Helper()
+	s := sched.New(sched.Config{Engines: 1, Quantum: 64, QueueCap: 16384})
+	catalog := sched.Catalog{
+		"echo": func() (cohort.Accelerator, error) { return newEcho(block), nil },
+	}
+	sv := sched.NewServer(s, catalog)
+	sv.LegacyWire = legacyWire
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	go sv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on stop
+	return ln.Addr().String(), func() {
+		sv.Close()
+		s.Close()
+	}
+}
+
+// TestServeSteadyStateAllocs pins the serving twin of the root package's
+// zero-allocation guard: a warmed send→sched→recv round trip over a real
+// TCP loopback connection — client zero-copy Send, server pooled decode and
+// whole-frame queue push, one scheduler quantum, coalesced writev result
+// pump, client RecvInto — performs no heap allocations at all, on either
+// end (AllocsPerRun measures the whole process, so the server's goroutines
+// are inside the guard too).
+func TestServeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector; zero-alloc steady state holds only in normal builds")
+	}
+	const block = 64
+	addr, stop := startLoopback(t, block, false)
+	defer stop()
+
+	c, err := client.Connect(addr, client.Options{Tenant: "allocs", Accel: "echo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	in := make([]cohort.Word, block)
+	for i := range in {
+		in[i] = cohort.Word(i) * 2654435761
+	}
+	res := make([]cohort.Word, block)
+	step := func() {
+		if err := c.Send(in); err != nil {
+			t.Fatal(err)
+		}
+		for got := 0; got < block; {
+			n, err := c.RecvInto(res[got:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += n
+		}
+	}
+	// Warm past one-time costs: connection buffers, pool seeding, goroutine
+	// stack growth, the kernel's cached iovec array for writev.
+	for i := 0; i < 256; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(256, step); avg != 0 {
+		t.Errorf("steady-state serving round trip allocates: %.2f allocs/run, want 0", avg)
+	}
+}
+
+// TestRecvIntoCarry: a Data frame larger than the RecvInto buffer carries
+// over across calls, in order, with no words lost.
+func TestRecvIntoCarry(t *testing.T) {
+	const block = 8
+	addr, stop := startLoopback(t, block, false)
+	defer stop()
+	c, err := client.Connect(addr, client.Options{Tenant: "carry", Accel: "echo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const blocks = 64
+	in := make([]cohort.Word, blocks*block)
+	for i := range in {
+		in[i] = cohort.Word(i) + 1
+	}
+	if err := c.Send(in); err != nil { // 64 blocks in one coalesced frame
+		t.Fatal(err)
+	}
+	if err := c.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	var out []cohort.Word
+	tiny := make([]cohort.Word, 3) // deliberately smaller than any frame
+	for {
+		n, err := c.RecvInto(tiny)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tiny[:n]...)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("received %d words, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("word %d = %d, want %d", i, out[i], in[i])
+		}
+	}
+	if res := c.Result(); res == nil || res.Blocks != blocks {
+		t.Fatalf("result %+v, want %d blocks", res, blocks)
+	}
+}
+
+// TestLegacyCodecRoundTrip: the A/B legacy codec still speaks the same
+// protocol against the batched server path.
+func TestLegacyCodecRoundTrip(t *testing.T) {
+	const block = 16
+	addr, stop := startLoopback(t, block, false)
+	defer stop()
+	c, err := client.Connect(addr, client.Options{Tenant: "legacy", Accel: "echo", LegacyCodec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in := make([]cohort.Word, 4*block)
+	for i := range in {
+		in[i] = ^cohort.Word(i)
+	}
+	out, res, err := c.Stream(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d words, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("word %d mismatch", i)
+		}
+	}
+	if res.Blocks != 4 {
+		t.Fatalf("blocks = %d, want 4", res.Blocks)
+	}
+}
+
+// benchLoopback streams b.N blocks through a real TCP session, sending
+// sendBatch words per frame — the A/B harness behind the README's serving
+// table. CI logs these next to the wire microbenches.
+func benchLoopback(b *testing.B, legacy bool, block, sendBatch int) {
+	addr, stop := startLoopback(b, block, legacy)
+	defer stop()
+	c, err := client.Connect(addr, client.Options{Tenant: "bench", Accel: "echo", LegacyCodec: legacy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	total := b.N * block
+	in := make([]cohort.Word, sendBatch)
+	res := make([]cohort.Word, 65536)
+	b.SetBytes(int64(block * 8))
+	b.ResetTimer()
+	go func() {
+		for sent := 0; sent < total; {
+			n := sendBatch
+			if rem := total - sent; n > rem {
+				n = rem
+			}
+			if err := c.Send(in[:n]); err != nil {
+				return
+			}
+			sent += n
+		}
+		c.CloseSend() //nolint:errcheck // receiver surfaces stream errors
+	}()
+	for got := 0; got < total; {
+		n, err := c.RecvInto(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got += n
+	}
+}
+
+func BenchmarkLoopbackBlock64Legacy(b *testing.B)    { benchLoopback(b, true, 64, 64) }
+func BenchmarkLoopbackBlock64Batched(b *testing.B)   { benchLoopback(b, false, 64, 4096) }
+func BenchmarkLoopbackBlock64ZeroCopy(b *testing.B)  { benchLoopback(b, false, 64, 64) }
+func BenchmarkLoopbackBlock4096Batched(b *testing.B) { benchLoopback(b, false, 4096, 4096) }

@@ -40,15 +40,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cohortd: ")
 	var (
-		listen      = flag.String("listen", "127.0.0.1:7411", "serve the wire protocol on this TCP address")
-		engines     = flag.Int("engines", 2, "engine worker pool size")
-		quantum     = flag.Int("quantum", 32, "max blocks served per scheduling decision")
-		switchCost  = flag.Duration("switch-cost", 0, "modeled cohort_register CSR-swap cost per session switch")
+		listen       = flag.String("listen", "127.0.0.1:7411", "serve the wire protocol on this TCP address")
+		engines      = flag.Int("engines", 2, "engine worker pool size")
+		quantum      = flag.Int("quantum", 32, "max blocks served per scheduling decision")
+		switchCost   = flag.Duration("switch-cost", 0, "modeled cohort_register CSR-swap cost per session switch")
 		maxSessions  = flag.Int("max-sessions", 64, "admission control: max concurrently live sessions")
 		queueCap     = flag.Int("queue-cap", 4096, "default per-direction session queue capacity in words")
 		retries      = flag.Int("retries", 0, "per-block retry budget for transient accelerator faults (0 = every fault is terminal)")
 		retryBackoff = flag.Duration("retry-backoff", 100*time.Microsecond, "pause before the first retry, doubling per attempt")
 		httpAddr     = flag.String("http", "", "serve /metrics, /healthz, /sessions, /trace and /debug/pprof on this address (e.g. :9122)")
+		noDelay      = flag.Bool("nodelay", true, "set TCP_NODELAY on accepted connections (frames flush without Nagle delay)")
+		sockBuf      = flag.Int("sockbuf", 0, "socket read/write buffer size in bytes for accepted connections (0: kernel default)")
 		smoke        = flag.Bool("smoke", false, "run the loopback self-test and exit")
 	)
 	flag.Parse()
@@ -64,12 +66,12 @@ func main() {
 		}
 		return
 	}
-	if err := run(cfg, *listen, *httpAddr); err != nil {
+	if err := run(cfg, *listen, *httpAddr, *noDelay, *sockBuf); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(cfg sched.Config, listen, httpAddr string) error {
+func run(cfg sched.Config, listen, httpAddr string, noDelay bool, sockBuf int) error {
 	reg := cohort.NewRegistry()
 	flight := cohort.NewFlightRecorder(4096)
 	cfg.Registry = reg
@@ -77,6 +79,9 @@ func run(cfg sched.Config, listen, httpAddr string) error {
 
 	s := sched.New(cfg)
 	sv := sched.NewServer(s, nil)
+	sv.NoDelay = noDelay
+	sv.ReadBufferSize = sockBuf
+	sv.WriteBufferSize = sockBuf
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err

@@ -1,0 +1,490 @@
+// Command cohortload is an open-loop load generator for a cohortd daemon: it
+// drives configurable tenant mixes of concurrent sessions with Poisson
+// arrivals and reports per-block and per-session latency quantiles
+// (p50/p99/p999) plus goodput, in both benchstat-compatible text and a JSON
+// report (BENCH_serve.json).
+//
+// Open loop means arrivals are scheduled by the clock, not by completions: a
+// batch's latency is measured from its *scheduled* arrival time, so server
+// queueing delay — including the sender's own inability to keep up — counts
+// against the server instead of silently throttling the workload (the
+// coordinated-omission trap of closed-loop generators). -rate 0 disables
+// pacing and measures saturation goodput instead.
+//
+// Each arrival is one -batch-word request. The batched client packs every
+// arrival due at wake-up into one zero-copy Data frame (up to -coalesce
+// arrivals, via SendN); the legacy client — like the pre-change stack — must
+// send one copy-framed write per arrival.
+//
+// With -spawn (the default when -addr is empty) the daemon runs in-process
+// on a loopback listener; -compare then runs the same workload twice — once
+// over the pre-coalescing legacy wire path (legacy codec, per-block
+// scheduler handoff, polling pumps), once over the batched zero-copy path —
+// and reports the goodput speedup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cohort"
+	"cohort/client"
+	"cohort/internal/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cohortload: ")
+	var cfg runConfig
+	flag.StringVar(&cfg.addr, "addr", "", "drive an external daemon at this address (empty: spawn one in-process)")
+	flag.StringVar(&cfg.accel, "accel", "echo", "accelerator to open sessions on (spawned daemons add \"echo\" with -block geometry)")
+	flag.IntVar(&cfg.block, "block", 64, "echo accelerator block size in words (spawned daemons only)")
+	flag.IntVar(&cfg.tenants, "tenants", 4, "concurrent tenant sessions")
+	flag.IntVar(&cfg.batch, "batch", 64, "words per arrival (one open-loop request)")
+	flag.IntVar(&cfg.coalesce, "coalesce", 64, "batched client: max due arrivals packed per Data frame via SendN (the legacy client sends one frame per arrival)")
+	flag.Float64Var(&cfg.rate, "rate", 0, "aggregate Poisson arrival rate in batches/sec across all tenants (0: unthrottled saturation)")
+	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "send window per run")
+	flag.IntVar(&cfg.engines, "engines", 2, "spawned daemon: engine pool size")
+	flag.IntVar(&cfg.quantum, "quantum", 64, "spawned daemon: blocks per scheduling decision")
+	flag.IntVar(&cfg.queueCap, "queue-cap", 16384, "spawned daemon: per-direction session queue capacity in words")
+	flag.Int64Var(&cfg.seed, "seed", 1, "arrival-process RNG seed")
+	legacy := flag.Bool("legacy", false, "use the pre-coalescing legacy codec (single run)")
+	compare := flag.Bool("compare", false, "run legacy then batched against spawned daemons and report the speedup")
+	out := flag.String("o", "BENCH_serve.json", "JSON report path (empty: skip)")
+	flag.Parse()
+
+	if cfg.batch%cfg.block != 0 {
+		log.Fatalf("-batch %d must be a multiple of -block %d", cfg.batch, cfg.block)
+	}
+	if cfg.coalesce < 1 {
+		log.Fatal("-coalesce must be >= 1")
+	}
+	if *compare && cfg.addr != "" {
+		log.Fatal("-compare needs spawned daemons; drop -addr")
+	}
+
+	fmt.Printf("goos: %s\ngoarch: %s\npkg: cohort/cmd/cohortload\n", runtime.GOOS, runtime.GOARCH)
+	var runs []runResult
+	if *compare {
+		for _, mode := range []bool{true, false} {
+			r, err := oneRun(cfg, mode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runs = append(runs, r)
+		}
+	} else {
+		r, err := oneRun(cfg, *legacy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+
+	report := benchReport{
+		Benchmark:     "cohortload",
+		GeneratedUnix: time.Now().Unix(),
+		Config: reportConfig{
+			Accel: cfg.accel, Block: cfg.block, Batch: cfg.batch, Coalesce: cfg.coalesce,
+			Tenants: cfg.tenants, RateHz: cfg.rate, DurationS: cfg.duration.Seconds(),
+			Engines: cfg.engines, Quantum: cfg.quantum, QueueCap: cfg.queueCap,
+		},
+		Runs: runs,
+	}
+	if len(runs) == 2 && runs[0].Mode == "legacy" {
+		report.SpeedupGoodput = round2(runs[1].GoodputWordsPerS / runs[0].GoodputWordsPerS)
+		fmt.Printf("\nspeedup: %.2fx goodput (batched %.1f MiB/s over legacy %.1f MiB/s)\n",
+			report.SpeedupGoodput, runs[1].GoodputMiBPerS, runs[0].GoodputMiBPerS)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report: %s\n", *out)
+	}
+}
+
+type runConfig struct {
+	addr     string
+	accel    string
+	block    int
+	tenants  int
+	batch    int
+	coalesce int
+	rate     float64
+	duration time.Duration
+	engines  int
+	quantum  int
+	queueCap int
+	seed     int64
+}
+
+type reportConfig struct {
+	Accel     string  `json:"accel"`
+	Block     int     `json:"block_words"`
+	Batch     int     `json:"batch_words"`
+	Coalesce  int     `json:"coalesce_arrivals"`
+	Tenants   int     `json:"tenants"`
+	RateHz    float64 `json:"rate_hz"`
+	DurationS float64 `json:"duration_s"`
+	Engines   int     `json:"engines"`
+	Quantum   int     `json:"quantum"`
+	QueueCap  int     `json:"queue_cap_words"`
+}
+
+type runResult struct {
+	Mode             string  `json:"mode"` // "legacy" or "batched"
+	Blocks           uint64  `json:"blocks"`
+	Words            uint64  `json:"words"`
+	ElapsedS         float64 `json:"elapsed_s"`
+	GoodputWordsPerS float64 `json:"goodput_words_per_s"`
+	GoodputMiBPerS   float64 `json:"goodput_mib_per_s"`
+	BlockP50us       float64 `json:"block_p50_us"`
+	BlockP99us       float64 `json:"block_p99_us"`
+	BlockP999us      float64 `json:"block_p999_us"`
+	SessionP50ms     float64 `json:"session_p50_ms"`
+	SessionP99ms     float64 `json:"session_p99_ms"`
+}
+
+type benchReport struct {
+	Benchmark      string       `json:"benchmark"`
+	GeneratedUnix  int64        `json:"generated_unix"`
+	Config         reportConfig `json:"config"`
+	Runs           []runResult  `json:"runs"`
+	SpeedupGoodput float64      `json:"speedup_goodput,omitempty"`
+}
+
+// echoAccel is the load-generator geometry knob: a block pass-through of
+// -block words, so wire/scheduler cost dominates and compute does not.
+type echoAccel struct{ out []cohort.Word }
+
+func newEcho(block int) *echoAccel { return &echoAccel{out: make([]cohort.Word, block)} }
+
+func (e *echoAccel) Name() string               { return "echo" }
+func (e *echoAccel) InWords() int               { return len(e.out) }
+func (e *echoAccel) OutWords() int              { return len(e.out) }
+func (e *echoAccel) Configure(csr []byte) error { return nil }
+func (e *echoAccel) Process(in []cohort.Word) ([]cohort.Word, error) {
+	copy(e.out, in)
+	return e.out, nil
+}
+
+// spawnDaemon brings up an in-process scheduler + wire server on a loopback
+// listener, with the default catalog plus the echo geometry.
+func spawnDaemon(cfg runConfig, legacy bool) (addr string, stop func(), err error) {
+	s := sched.New(sched.Config{
+		Engines: cfg.engines, Quantum: cfg.quantum, QueueCap: cfg.queueCap,
+		MaxSessions: 2*cfg.tenants + 8,
+	})
+	cat := sched.DefaultCatalog()
+	blk := cfg.block
+	cat["echo"] = func() (cohort.Accelerator, error) { return newEcho(blk), nil }
+	sv := sched.NewServer(s, cat)
+	sv.LegacyWire = legacy
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return "", nil, err
+	}
+	go sv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on stop
+	return ln.Addr().String(), func() { sv.Close(); s.Close() }, nil
+}
+
+// batchRec tracks one in-flight arrival: when it was *scheduled* to arrive
+// (the open-loop latency origin) and how many result words retire it.
+type batchRec struct {
+	due   time.Time
+	words int
+}
+
+// oneRun drives the full tenant mix for one send window and aggregates the
+// samples. legacy selects both the daemon's legacy wire path (spawned only)
+// and the client's legacy codec, so the pair measured is the honest
+// pre-change stack.
+func oneRun(cfg runConfig, legacy bool) (runResult, error) {
+	addr := cfg.addr
+	if addr == "" {
+		a, stop, err := spawnDaemon(cfg, legacy)
+		if err != nil {
+			return runResult{}, err
+		}
+		defer stop()
+		addr = a
+	}
+
+	mode := "batched"
+	if legacy {
+		mode = "legacy"
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		blockLat []int64 // ns, decimated
+		sessLat  []int64 // ns
+		words    uint64
+		blocks   uint64
+	)
+	start := time.Now()
+	perSess := cfg.rate / float64(cfg.tenants)
+	for i := 0; i < cfg.tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &worker{
+				cfg: cfg, addr: addr, legacy: legacy,
+				tenant: fmt.Sprintf("load-%d", i),
+				rng:    rand.New(rand.NewSource(cfg.seed + int64(i))),
+				rate:   perSess,
+			}
+			err := w.run()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("tenant %s: %w", w.tenant, err)
+			}
+			blockLat = append(blockLat, w.lat.vals...)
+			sessLat = append(sessLat, int64(w.sessDur))
+			words += w.words
+			blocks += w.blocks
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return runResult{}, firstErr
+	}
+	elapsed := time.Since(start)
+
+	res := runResult{
+		Mode: mode, Blocks: blocks, Words: words,
+		ElapsedS:         round4(elapsed.Seconds()),
+		GoodputWordsPerS: round2(float64(words) / elapsed.Seconds()),
+		GoodputMiBPerS:   round2(float64(words) * 8 / (1 << 20) / elapsed.Seconds()),
+		BlockP50us:       quantUS(blockLat, 0.50),
+		BlockP99us:       quantUS(blockLat, 0.99),
+		BlockP999us:      quantUS(blockLat, 0.999),
+		SessionP50ms:     round4(quantUS(sessLat, 0.50) / 1e3),
+		SessionP99ms:     round4(quantUS(sessLat, 0.99) / 1e3),
+	}
+	// benchstat-compatible: one line per run, ns/op is per block served.
+	coalesce := cfg.coalesce
+	if legacy {
+		coalesce = 1
+	}
+	nsPerBlock := float64(elapsed.Nanoseconds()) / float64(max(blocks, 1))
+	fmt.Printf("BenchmarkServe/mode=%s/block=%d/batch=%d/coalesce=%d/tenants=%d \t%8d\t%12.1f ns/op\t%10.2f MB/s\t%10.1f p99-us\n",
+		mode, cfg.block, cfg.batch, coalesce, cfg.tenants, blocks, nsPerBlock,
+		float64(words)*8/1e6/elapsed.Seconds(), res.BlockP99us)
+	return res, nil
+}
+
+type worker struct {
+	cfg     config // alias below keeps the struct readable
+	addr    string
+	legacy  bool
+	tenant  string
+	rng     *rand.Rand
+	rate    float64 // arrivals/sec for this session; 0 = unthrottled
+	lat     sampler
+	sessDur time.Duration
+	words   uint64
+	blocks  uint64
+}
+
+type config = runConfig
+
+// run opens one session, paces batches through it for the send window, then
+// drains to Done. The receive side runs concurrently so backpressure is the
+// server's, not the harness's.
+func (w *worker) run() error {
+	c, err := client.Connect(w.addr, client.Options{
+		Tenant: w.tenant, Accel: w.cfg.accel, LegacyCodec: w.legacy,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	t0 := time.Now()
+
+	// Pending batches flow sender→receiver in send order; the channel is the
+	// in-flight window bookkeeping, not a throttle (capacity well beyond what
+	// queue + socket backpressure admits).
+	pending := make(chan batchRec, 1<<16)
+	recvErr := make(chan error, 1)
+	go func() { recvErr <- w.receive(c, pending) }()
+
+	in := make([]cohort.Word, w.cfg.batch)
+	for i := range in {
+		in[i] = cohort.Word(i)*2654435761 + 99
+	}
+	deadline := t0.Add(w.cfg.duration)
+	next := t0
+	dues := make([]time.Time, 0, w.cfg.coalesce)
+	segs := make([][]cohort.Word, 0, w.cfg.coalesce)
+	var sendErr error
+	for time.Now().Before(deadline) {
+		// Collect the arrivals due this pass. Paced mode sleeps to the next
+		// Poisson arrival, then also picks up any backlog already due — the
+		// schedule never slips, so a late sender measures as server latency.
+		// Saturation mode (-rate 0) treats a full coalesce window as due.
+		dues = dues[:0]
+		if w.rate > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			now := time.Now()
+			for !next.After(now) && len(dues) < w.cfg.coalesce {
+				dues = append(dues, next)
+				next = next.Add(time.Duration(w.rng.ExpFloat64() / w.rate * float64(time.Second)))
+			}
+		} else {
+			now := time.Now()
+			for len(dues) < w.cfg.coalesce {
+				dues = append(dues, now)
+			}
+		}
+		if w.rate > 0 {
+			for _, due := range dues {
+				pending <- batchRec{due: due, words: w.cfg.batch}
+			}
+		} else {
+			// Saturation arrivals in one pass share a due stamp: one record
+			// covers them all (the receiver tracks words, not frames).
+			pending <- batchRec{due: dues[0], words: w.cfg.batch * len(dues)}
+		}
+		if w.legacy {
+			// The pre-change client has no frame coalescing: one copy-framed
+			// send — one frame, one write — per arrival.
+			for range dues {
+				if err := c.Send(in); err != nil {
+					sendErr = err
+					break
+				}
+			}
+		} else {
+			// The batched client packs every due arrival into one zero-copy
+			// Data frame (SendN gathers the segments with a single writev).
+			segs = segs[:0]
+			for range dues {
+				segs = append(segs, in)
+			}
+			sendErr = c.SendN(segs...)
+		}
+		if sendErr != nil {
+			break
+		}
+	}
+	if err := c.CloseSend(); err != nil && sendErr == nil {
+		sendErr = err
+	}
+	close(pending)
+	if err := <-recvErr; err != nil {
+		return err
+	}
+	w.sessDur = time.Since(t0)
+	if sendErr != nil {
+		return sendErr
+	}
+	if res := c.Result(); res == nil || res.Err != "" {
+		return fmt.Errorf("session did not finish cleanly: %+v", res)
+	}
+	return nil
+}
+
+// receive drains results, retiring pending batches in order and recording
+// one latency sample per completed block (stamped when its last word lands).
+func (w *worker) receive(c *client.Conn, pending <-chan batchRec) error {
+	buf := make([]cohort.Word, 1<<16)
+	var cur batchRec
+	rem, into := 0, 0 // words left in cur; words already landed in cur
+	for {
+		n, err := c.RecvInto(buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		w.words += uint64(n)
+		for n > 0 {
+			if rem == 0 {
+				cur = <-pending
+				rem, into = cur.words, 0
+			}
+			take := min(n, rem)
+			done := (into+take)/w.cfg.block - into/w.cfg.block
+			lat := now.Sub(cur.due).Nanoseconds()
+			for i := 0; i < done; i++ {
+				w.lat.add(lat)
+			}
+			w.blocks += uint64(done)
+			into += take
+			rem -= take
+			n -= take
+		}
+	}
+}
+
+// sampler keeps a memory-bounded, time-uniform subset of latency samples:
+// when full it drops every other retained sample and doubles its stride.
+type sampler struct {
+	vals   []int64
+	stride int
+	skip   int
+}
+
+const samplerCap = 1 << 20
+
+func (sp *sampler) add(v int64) {
+	if sp.stride == 0 {
+		sp.stride = 1
+	}
+	if sp.skip > 0 {
+		sp.skip--
+		return
+	}
+	sp.skip = sp.stride - 1
+	if len(sp.vals) == samplerCap {
+		keep := sp.vals[:0]
+		for i := 0; i < len(sp.vals); i += 2 {
+			keep = append(keep, sp.vals[i])
+		}
+		sp.vals = keep
+		sp.stride *= 2
+		sp.skip = sp.stride - 1
+	}
+	sp.vals = append(sp.vals, v)
+}
+
+// quantUS returns the q-quantile of ns samples, in microseconds.
+func quantUS(ns []int64, q float64) float64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	idx := int(q * float64(len(ns)-1))
+	return round2(float64(ns[idx]) / 1e3)
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+func round4(v float64) float64 { return float64(int64(v*1e4+0.5)) / 1e4 }

@@ -134,6 +134,11 @@ type SessionConfig struct {
 	// allocated. A supplied In may already hold words (or even be closed):
 	// the session starts with that backlog.
 	In, Out *cohort.Fifo[cohort.Word]
+	// LegacyHandoff restores the pre-coalescing serving handoff — one output
+	// queue publication per block instead of one per quantum. It exists only
+	// as the faithful baseline for A/B benchmarks (Server.LegacyWire,
+	// cohortload -legacy); leave it false for real serving.
+	LegacyHandoff bool
 }
 
 // SessionStats is a snapshot of one session's counters.
@@ -184,8 +189,17 @@ type Session struct {
 	out    *cohort.Fifo[cohort.Word]
 	inW    int
 	outW   int
-	buf    []cohort.Word
+	buf    []cohort.Word // input staging: one quantum of blocks per drain
+	obuf   []cohort.Word // output staging: one quantum of results per publish
 	sch    *Scheduler
+
+	// Coalesced edge-trigger channels (buffered 1): consumers park on these
+	// instead of polling the queues, so a quantum's results reach the socket
+	// pump the moment they publish rather than on the next poll tick.
+	outKick chan struct{} // results published to Out, or Out closed
+	inKick  chan struct{} // input consumed: queue room freed for the producer
+
+	legacy bool // SessionConfig.LegacyHandoff: per-block output publication
 
 	// Scheduler state, guarded by Scheduler.mu.
 	pass    float64
@@ -244,6 +258,26 @@ func (ss *Session) Kill() {
 // Done returns a channel closed when the session has fully retired: its
 // output queue is closed and its metrics are unregistered.
 func (ss *Session) Done() <-chan struct{} { return ss.done }
+
+// OutReady returns a channel that receives a coalesced signal whenever the
+// scheduler publishes results to Out or closes it. Consumers park on it
+// instead of polling the queue; consecutive publications may merge into one
+// pending signal, so drain Out fully on every wakeup.
+func (ss *Session) OutReady() <-chan struct{} { return ss.outKick }
+
+// InSpace returns a channel that receives a coalesced signal whenever the
+// scheduler consumes queued input, freeing room for the producer. Producers
+// blocked on a full In queue park on it instead of polling.
+func (ss *Session) InSpace() <-chan struct{} { return ss.inKick }
+
+// notify delivers a coalesced edge-trigger: a full buffer means a signal is
+// already pending and the new one merges into it.
+func notify(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
 
 // Err returns why the session retired: nil for a clean end of stream (or a
 // still-live session), ErrKilled, ErrQuotaExceeded, or the accelerator's
@@ -454,10 +488,14 @@ func (s *Scheduler) Register(cfg SessionConfig) (*Session, error) {
 		id: s.nextID, tenant: cfg.Tenant, weight: cfg.Weight, quota: cfg.Quota,
 		acc: cfg.Accel, in: in, out: out,
 		inW: cfg.Accel.InWords(), outW: cfg.Accel.OutWords(),
-		buf:  make([]cohort.Word, s.cfg.Quantum*cfg.Accel.InWords()),
-		sch:  s,
-		pass: s.vtime,
-		done: make(chan struct{}),
+		buf:     make([]cohort.Word, s.cfg.Quantum*cfg.Accel.InWords()),
+		obuf:    make([]cohort.Word, 0, s.cfg.Quantum*cfg.Accel.OutWords()),
+		sch:     s,
+		pass:    s.vtime,
+		done:    make(chan struct{}),
+		outKick: make(chan struct{}, 1),
+		inKick:  make(chan struct{}, 1),
+		legacy:  cfg.LegacyHandoff,
 	}
 	ss.serveSpan = fmt.Sprintf("serve:%s#%d", ss.tenant, ss.id)
 	ss.metricName = fmt.Sprintf("session/%s#%d", ss.tenant, ss.id)
@@ -661,6 +699,9 @@ func (s *Scheduler) retire(ss *Session) {
 		s.cfg.Registry.Unregister(ss.metricName)
 	}
 	ss.out.Close()
+	// Wake a parked consumer so it observes the close without waiting out its
+	// fallback timer.
+	notify(ss.outKick)
 	close(ss.done)
 }
 
@@ -676,6 +717,14 @@ func (s *Scheduler) worker(i int) {
 	}
 	var lastID uint64
 	idle := 50 * time.Microsecond
+	// Reusable park timer: an idle worker re-arms this instead of allocating
+	// a fresh timer per pass (time.After), keeping the idle loop — and with
+	// it the whole serving steady state — allocation-free.
+	park := time.NewTimer(time.Hour)
+	if !park.Stop() {
+		<-park.C
+	}
+	defer park.Stop()
 	for {
 		select {
 		case <-s.stop:
@@ -684,11 +733,16 @@ func (s *Scheduler) worker(i int) {
 		}
 		ss := s.pick()
 		if ss == nil {
+			park.Reset(idle)
 			select {
 			case <-s.stop:
+				park.Stop()
 				return
 			case <-s.kick:
-			case <-time.After(idle):
+				if !park.Stop() {
+					<-park.C
+				}
+			case <-park.C:
 				if idle < 2*time.Millisecond {
 					idle *= 2
 				}
@@ -749,6 +803,7 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session) {
 			if avail > 0 {
 				// The stream ended mid-block: drop the partial tail.
 				ss.in.CommitRead(avail)
+				notify(ss.inKick)
 				ss.dropped.Add(uint64(avail))
 			}
 			if ss.in.Drained() {
@@ -768,39 +823,87 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session) {
 	c := copy(ss.buf[:n], a)
 	copy(ss.buf[c:n], b)
 	ss.in.CommitRead(n)
+	notify(ss.inKick)
 	ss.wordsIn.Add(uint64(n))
+
+	if ss.legacy {
+		// Faithful pre-change handoff (SessionConfig.LegacyHandoff): one
+		// queue publication per block, so the socket pump races the engine
+		// and frames roughly one block at a time — the A/B baseline.
+		for blk := 0; blk < blocks; blk++ {
+			res, err := s.processBlock(ss, ss.buf[blk*inW:(blk+1)*inW])
+			if err != nil {
+				s.failQuantum(ss, blk, err)
+				return
+			}
+			if !s.pushOut(ss, res) {
+				s.failQuantum(ss, blk, ErrKilled)
+				return
+			}
+			ss.wordsOut.Add(uint64(len(res)))
+			ss.blocks.Add(1)
+		}
+		if trk != nil {
+			trk.End(ss.serveSpan, t0)
+		}
+		s.finishServe(ss, blocks)
+		return
+	}
+
+	// Results stage in obuf and publish with ONE queue publication per
+	// quantum (the backpressure clamp above already reserved output room for
+	// every block). Whole-quanta handoffs are what let the socket pump
+	// coalesce a quantum of blocks into a single Data frame and writev —
+	// per-block publication would feed it one block-sized frame at a time.
+	out := ss.obuf[:0]
+	completed := 0
 	for blk := 0; blk < blocks; blk++ {
 		res, err := s.processBlock(ss, ss.buf[blk*inW:(blk+1)*inW])
 		if err != nil {
-			if errors.Is(err, ErrClosed) {
-				// Scheduler stopping mid-retry: release the session without a
-				// verdict; Close retires everything with ErrClosed.
-				s.finishServe(ss, blk)
-				return
+			// Blocks completed before the failure still publish: the consumer
+			// already has a claim on them, exactly as with per-block handoff.
+			if len(out) > 0 && s.pushOut(ss, out) {
+				ss.wordsOut.Add(uint64(len(out)))
 			}
-			if errors.Is(err, ErrKilled) {
-				ss.fail(ErrKilled)
-				s.kills.Add(1)
-			} else {
-				ss.fail(fmt.Errorf("sched: accelerator %s failed for tenant %s: %w", ss.acc.Name(), ss.tenant, err))
-				s.faultsTerminal.Add(1)
-			}
-			s.retire(ss)
+			ss.blocks.Add(uint64(completed))
+			s.failQuantum(ss, completed, err)
 			return
 		}
-		if !s.pushOut(ss, res) {
-			ss.fail(ErrKilled)
-			s.kills.Add(1)
-			s.retire(ss)
-			return
-		}
-		ss.wordsOut.Add(uint64(len(res)))
-		ss.blocks.Add(1)
+		out = append(out, res...)
+		completed++
 	}
+	if len(out) > 0 {
+		if !s.pushOut(ss, out) {
+			ss.blocks.Add(uint64(completed))
+			s.failQuantum(ss, completed, ErrKilled)
+			return
+		}
+		ss.wordsOut.Add(uint64(len(out)))
+	}
+	ss.blocks.Add(uint64(completed))
 	if trk != nil {
 		trk.End(ss.serveSpan, t0)
 	}
-	s.finishServe(ss, blocks)
+	s.finishServe(ss, completed)
+}
+
+// failQuantum resolves a quantum that ended early after completed blocks:
+// ErrClosed (scheduler stopping mid-retry) releases the session without a
+// verdict — Close retires everything with ErrClosed; a kill or accelerator
+// fault retires the session here with the matching accounting.
+func (s *Scheduler) failQuantum(ss *Session, completed int, err error) {
+	if errors.Is(err, ErrClosed) {
+		s.finishServe(ss, completed)
+		return
+	}
+	if errors.Is(err, ErrKilled) {
+		ss.fail(ErrKilled)
+		s.kills.Add(1)
+	} else {
+		ss.fail(fmt.Errorf("sched: accelerator %s failed for tenant %s: %w", ss.acc.Name(), ss.tenant, err))
+		s.faultsTerminal.Add(1)
+	}
+	s.retire(ss)
 }
 
 // processBlock runs one block through the session's accelerator, retrying
@@ -852,6 +955,9 @@ func (s *Scheduler) pushOut(ss *Session, ws []cohort.Word) bool {
 	for len(ws) > 0 {
 		n := ss.out.TryPushSlice(ws)
 		ws = ws[n:]
+		if n > 0 {
+			notify(ss.outKick)
+		}
 		if len(ws) > 0 && n == 0 {
 			if ss.killed.Load() {
 				return false

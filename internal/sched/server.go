@@ -36,10 +36,31 @@ func DefaultCatalog() Catalog {
 // the way back to the remote producer via TCP flow control); the writer half
 // streams results out as the scheduler completes them and finishes with a
 // Done frame carrying the session's counters.
+//
+// Both halves run the batched wire hot path: inbound Data frames decode into
+// pooled word buffers and land in the input queue with one TryPushSlice per
+// frame; outbound results coalesce every completed block sitting in the
+// output queue into a single Data frame written with one writev straight
+// from the queue's ring segments — no allocation and no copy at steady
+// state on little-endian hosts.
 type Server struct {
 	sch     *Scheduler
 	catalog Catalog
 	wg      sync.WaitGroup
+
+	// Connection knobs, applied to every accepted TCP connection. Set before
+	// Serve. NewServer enables NoDelay: a coalesced Data frame is already a
+	// full batch, so delaying it behind Nagle only adds tail latency.
+	NoDelay bool
+	// ReadBufferSize / WriteBufferSize, when > 0, set SO_RCVBUF/SO_SNDBUF on
+	// accepted connections — headroom knobs for high-bandwidth links.
+	ReadBufferSize  int
+	WriteBufferSize int
+	// LegacyWire selects the pre-coalescing serving path (one allocated
+	// decode per inbound frame, copy-framed outbound pops). Kept so
+	// cohortload can A/B the batched hot path against what it replaced;
+	// never set it in production.
+	LegacyWire bool
 
 	mu     sync.Mutex
 	closed bool
@@ -52,7 +73,7 @@ func NewServer(sch *Scheduler, catalog Catalog) *Server {
 	if catalog == nil {
 		catalog = DefaultCatalog()
 	}
-	return &Server{sch: sch, catalog: catalog, conns: make(map[net.Conn]struct{})}
+	return &Server{sch: sch, catalog: catalog, NoDelay: true, conns: make(map[net.Conn]struct{})}
 }
 
 // ErrServerClosed is returned by Serve after Close, mirroring net/http.
@@ -126,6 +147,16 @@ func (sv *Server) handle(c net.Conn) {
 	defer sv.forget(c)
 	defer c.Close()
 
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(sv.NoDelay)
+		if sv.ReadBufferSize > 0 {
+			tc.SetReadBuffer(sv.ReadBufferSize)
+		}
+		if sv.WriteBufferSize > 0 {
+			tc.SetWriteBuffer(sv.WriteBufferSize)
+		}
+	}
+
 	fr := wire.NewReader(c)
 	fw := wire.NewWriter(c)
 
@@ -154,6 +185,7 @@ func (sv *Server) handle(c net.Conn) {
 	ss, err := sv.sch.Register(SessionConfig{
 		Tenant: req.Tenant, Accel: acc, CSR: req.CSR,
 		Weight: req.Weight, Quota: req.Quota, QueueCap: req.QueueCap,
+		LegacyHandoff: sv.LegacyWire,
 	})
 	if err != nil {
 		code := wire.CodeBadRequest
@@ -192,15 +224,34 @@ func (sv *Server) handle(c net.Conn) {
 // readStream feeds inbound Data frames into the session input queue until
 // CloseSend, a protocol violation, or a dead connection. Reports whether the
 // client ended its stream deliberately.
+//
+// Data frames decode into pooled word buffers (wire.Reader.NextData) that
+// land in the queue with whole-frame TryPushSlice calls — no per-frame
+// allocation. LegacyWire keeps the old allocate-and-decode path for A/B
+// benchmarks.
 func (sv *Server) readStream(fr *wire.Reader, ss *Session) bool {
+	// One reusable timer serves every backpressure pause on this connection;
+	// time.After in the full-queue loop would allocate a fresh timer per spin.
+	wait := newStoppedTimer()
+	defer wait.Stop()
 	for {
-		t, payload, err := fr.Next()
+		var ws []cohort.Word
+		var t wire.Type
+		var err error
+		if sv.LegacyWire {
+			var payload []byte
+			if t, payload, err = fr.Next(); err == nil && t == wire.Data {
+				ws, err = wire.Words(payload)
+			}
+		} else {
+			t, ws, _, err = fr.NextData()
+		}
 		if err != nil {
 			return false
 		}
 		switch t {
 		case wire.Data:
-			if !sv.pushWords(ss, payload) {
+			if !sv.pushWords(ss, ws, wait) {
 				return false
 			}
 		case wire.CloseSend:
@@ -212,15 +263,22 @@ func (sv *Server) readStream(fr *wire.Reader, ss *Session) bool {
 	}
 }
 
-// pushWords moves one Data payload into the session input queue. When the
-// queue is full it waits — not reading the socket is exactly how per-tenant
-// backpressure propagates to the remote producer. Gives up once the session
-// is retired (quota, kill): the remaining stream has nowhere to go.
-func (sv *Server) pushWords(ss *Session, payload []byte) bool {
-	ws, err := wire.Words(payload)
-	if err != nil {
-		return false
+// newStoppedTimer returns a drained timer ready for Reset — the reusable
+// replacement for time.After in per-frame wait loops.
+func newStoppedTimer() *time.Timer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
 	}
+	return t
+}
+
+// pushWords moves one decoded Data frame into the session input queue. When
+// the queue is full it waits — not reading the socket is exactly how
+// per-tenant backpressure propagates to the remote producer. Gives up once
+// the session is retired (quota, kill): the remaining stream has nowhere to
+// go.
+func (sv *Server) pushWords(ss *Session, ws []cohort.Word, wait *time.Timer) bool {
 	for len(ws) > 0 {
 		n := ss.In().TryPushSlice(ws)
 		ws = ws[n:]
@@ -228,12 +286,36 @@ func (sv *Server) pushWords(ss *Session, payload []byte) bool {
 			sv.sch.kickWorkers()
 			continue
 		}
+		if sv.LegacyWire {
+			// Pre-change behavior for the A/B baseline: poll the full queue.
+			wait.Reset(100 * time.Microsecond)
+			select {
+			case <-ss.Done():
+				wait.Stop()
+				return false
+			case <-sv.sch.stop:
+				wait.Stop()
+				return false
+			case <-wait.C:
+			}
+			continue
+		}
+		// Queue full: park until the scheduler frees room (InSpace is a
+		// coalesced edge trigger, so re-check the queue on every wakeup). The
+		// timer is only a fallback against a signal consumed by a prior pass.
+		wait.Reset(2 * time.Millisecond)
 		select {
 		case <-ss.Done():
+			wait.Stop()
 			return false
 		case <-sv.sch.stop:
+			wait.Stop()
 			return false
-		case <-time.After(100 * time.Microsecond):
+		case <-ss.InSpace():
+			if !wait.Stop() {
+				<-wait.C
+			}
+		case <-wait.C:
 		}
 	}
 	return true
@@ -243,15 +325,52 @@ func (sv *Server) pushWords(ss *Session, payload []byte) bool {
 // frames, then sends the final Done frame and closes the connection. The
 // output queue is closed by the scheduler at retirement, so draining it is
 // the handler's retirement barrier.
+//
+// Every pass coalesces all completed blocks currently in the queue — up to
+// a whole frame's worth — into one Data frame, written with a single writev
+// directly from the queue's two ring segments (wire.Writer.WordsN): batching
+// the PR 1 way, applied to the socket. LegacyWire keeps the old
+// pop-into-buffer, copy-framed path for A/B benchmarks.
 func (sv *Server) pumpResults(c net.Conn, ss *Session) {
 	fw := wire.NewWriter(c)
-	buf := make([]cohort.Word, 4096)
-	idle := 50 * time.Microsecond
+	idle := 50 * time.Microsecond // LegacyWire backoff-poll interval
+	wait := newStoppedTimer()
+	defer wait.Stop()
+	var buf []cohort.Word
+	if sv.LegacyWire {
+		buf = make([]cohort.Word, 4096)
+	}
 	for {
-		n := ss.Out().TryPopInto(buf)
+		var n int
+		var werr error
+		if sv.LegacyWire {
+			if n = ss.Out().TryPopInto(buf); n > 0 {
+				werr = fw.WordsCopy(buf[:n])
+			}
+		} else {
+			a, b := ss.Out().ReadSegments()
+			if n = len(a) + len(b); n > 0 {
+				if n > wire.MaxFrameWords {
+					// A queue deeper than a frame drains across passes.
+					n = wire.MaxFrameWords
+					if n <= len(a) {
+						a, b = a[:n], nil
+					} else {
+						b = b[:n-len(a)]
+					}
+				}
+				werr = fw.WordsN(a, b)
+				ss.Out().CommitRead(n)
+			}
+		}
 		if n > 0 {
+			if !sv.LegacyWire {
+				// Draining output may unblock a session parked on output-room
+				// backpressure: let an engine re-dispatch it right away.
+				sv.sch.kickWorkers()
+			}
 			idle = 50 * time.Microsecond
-			if err := fw.Words(buf[:n]); err != nil {
+			if werr != nil {
 				// Client stopped reading; results are undeliverable.
 				ss.Kill()
 				return
@@ -261,13 +380,31 @@ func (sv *Server) pumpResults(c net.Conn, ss *Session) {
 		if ss.Out().Drained() {
 			break
 		}
+		if sv.LegacyWire {
+			// Pre-change behavior for the A/B baseline: backoff polling.
+			wait.Reset(idle)
+			select {
+			case <-sv.sch.stop:
+				return
+			case <-wait.C:
+				if idle < 2*time.Millisecond {
+					idle *= 2
+				}
+			}
+			continue
+		}
+		// Empty but not drained: park until the scheduler publishes (OutReady
+		// is a coalesced edge trigger — re-scan the queue on every wakeup; the
+		// timer only backstops a signal consumed by a previous pass).
+		wait.Reset(2 * time.Millisecond)
 		select {
 		case <-sv.sch.stop:
 			return
-		case <-time.After(idle):
-			if idle < 2*time.Millisecond {
-				idle *= 2
+		case <-ss.OutReady():
+			if !wait.Stop() {
+				<-wait.C
 			}
+		case <-wait.C:
 		}
 	}
 	st := ss.Stats()

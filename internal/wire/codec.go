@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"encoding/binary"
+	"sync"
+	"unsafe"
+
+	"cohort"
+)
+
+// The wire encodes words little-endian. On little-endian hosts that is
+// exactly the in-memory representation, so encode and decode degenerate to a
+// pointer reinterpretation: a []cohort.Word IS its payload bytes. The check
+// runs once; big-endian hosts take the word-at-a-time reference codec below.
+var hostLittle = func() bool {
+	var x uint16 = 0x0102
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// wordsBytes reinterprets ws as its in-memory byte representation without
+// copying. The view aliases ws: it is the wire encoding only on
+// little-endian hosts (callers must check hostLittle), and is always a
+// correctly-aligned destination to read little-endian payload bytes into
+// before an in-place decode.
+func wordsBytes(ws []cohort.Word) []byte {
+	if len(ws) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&ws[0])), len(ws)*WordBytes)
+}
+
+// encodeWords is the endian-independent reference encoder: dst[i*8:] gets
+// ws[i] little-endian. dst must have room for len(ws)*WordBytes bytes.
+func encodeWords(dst []byte, ws []cohort.Word) {
+	for i, w := range ws {
+		binary.LittleEndian.PutUint64(dst[i*WordBytes:], uint64(w))
+	}
+}
+
+// decodeWords is the endian-independent reference decoder: dst[i] =
+// little-endian src[i*8:]. src must hold len(dst)*WordBytes bytes. src may
+// alias dst's memory (each word is fully read before it is stored), which is
+// how big-endian hosts decode a payload in place after reading it into a
+// word buffer's byte view.
+func decodeWords(dst []cohort.Word, src []byte) {
+	for i := range dst {
+		dst[i] = cohort.Word(binary.LittleEndian.Uint64(src[i*WordBytes:]))
+	}
+}
+
+// maxPoolWords caps the word-buffer capacity the pool will retain. An
+// oversized frame's buffer goes back to the allocator, not the pool, so one
+// huge frame cannot seed the pool with MaxFrame-sized slabs that every
+// connection then keeps alive.
+const maxPoolWords = 128 << 10
+
+// wordsItem wraps a pooled word buffer. The pointer wrapper keeps
+// sync.Pool.Put allocation-free (a bare slice would be boxed per Put).
+type wordsItem struct{ ws []cohort.Word }
+
+var wordsPool = sync.Pool{New: func() any { return new(wordsItem) }}
+
+// getWords hands out a pooled buffer of exactly n words (capacity rounded up
+// to a power of two so mixed frame sizes reuse well).
+func getWords(n int) *wordsItem {
+	it := wordsPool.Get().(*wordsItem)
+	if cap(it.ws) < n {
+		c := 64
+		for c < n {
+			c <<= 1
+		}
+		it.ws = make([]cohort.Word, c)
+	}
+	it.ws = it.ws[:n]
+	return it
+}
+
+// putWords recycles a buffer, dropping oversized ones (see maxPoolWords).
+func putWords(it *wordsItem) {
+	if cap(it.ws) > maxPoolWords {
+		it.ws = nil
+	}
+	wordsPool.Put(it)
+}

@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"cohort"
+)
+
+// FuzzReader throws arbitrary byte streams at both deframers and checks the
+// invariants that the serving stack leans on: no panic, no crash, every
+// returned Data payload word-aligned and within MaxFrame, and Next/NextData
+// agreeing frame for frame on the same input. The seed corpus
+// (testdata/fuzz/FuzzReader) pins the interesting shapes: valid
+// conversations, truncated headers, truncated payloads, oversized lengths,
+// invalid types and misaligned Data.
+func FuzzReader(f *testing.F) {
+	// A valid little conversation: Open JSON, a 3-word Data frame, CloseSend.
+	var valid bytes.Buffer
+	w := NewWriter(&valid)
+	if err := w.JSON(Open, OpenRequest{Tenant: "t", Accel: "sha256"}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Words([]cohort.Word{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Frame(CloseSend, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})                                                               // empty stream: clean EOF
+	f.Add([]byte{byte(Data), 0})                                                  // truncated header
+	f.Add([]byte{0, 0, 0, 0, 0})                                                  // zero type
+	f.Add([]byte{99, 0, 0, 0, 0})                                                 // type out of range
+	f.Add([]byte{byte(Data), 0xff, 0xff, 0xff, 0xff})                             // oversized length
+	f.Add([]byte{byte(Data), 0, 0, 0, 12, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}) // misaligned data
+	f.Add([]byte{byte(Data), 0, 0, 0, 16, 1, 2, 3})                               // truncated payload
+	f.Add([]byte{byte(Done), 0, 0, 0, 2, '{', '}'})                               // control frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ra := NewReader(bytes.NewReader(data))
+		rb := NewReader(bytes.NewReader(data))
+		for frame := 0; ; frame++ {
+			ta, pa, errA := ra.Next()
+			tb, ws, pb, errB := rb.NextData()
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("frame %d: Next err=%v, NextData err=%v", frame, errA, errB)
+			}
+			if errA != nil {
+				if frame == 0 && len(data) == 0 && errA != io.EOF {
+					t.Fatalf("empty stream: err = %v, want io.EOF", errA)
+				}
+				return
+			}
+			if ta != tb {
+				t.Fatalf("frame %d: Next type %v, NextData type %v", frame, ta, tb)
+			}
+			if ta < Open || ta > Done {
+				t.Fatalf("frame %d: invalid type %d returned without error", frame, ta)
+			}
+			if len(pa) > MaxFrame {
+				t.Fatalf("frame %d: payload %d exceeds MaxFrame", frame, len(pa))
+			}
+			if ta == Data {
+				if len(pa)%WordBytes != 0 {
+					t.Fatalf("frame %d: misaligned %d-byte data payload returned", frame, len(pa))
+				}
+				decoded, err := Words(pa)
+				if err != nil {
+					t.Fatalf("frame %d: aligned payload failed to decode: %v", frame, err)
+				}
+				if len(decoded) != len(ws) {
+					t.Fatalf("frame %d: Words %d words, NextData %d", frame, len(decoded), len(ws))
+				}
+				for i := range decoded {
+					if decoded[i] != ws[i] {
+						t.Fatalf("frame %d word %d: Words %#x, NextData %#x", frame, i, decoded[i], ws[i])
+					}
+				}
+			} else if !bytes.Equal(pa, pb) {
+				t.Fatalf("frame %d: control payloads differ", frame)
+			}
+		}
+	})
+}

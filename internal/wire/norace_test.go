@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire
+
+// raceEnabled gates allocation guards: sync.Pool randomly drops Puts when
+// the race detector is on (see sync/pool.go), so pooled paths cannot be
+// allocation-free under -race by design.
+const raceEnabled = false

@@ -20,6 +20,25 @@
 // Done for a stream that ran to completion (cleanly, or retired by quota or
 // shutdown — DoneReply.Err/Code say which), or Error for a session that died
 // mid-stream (accelerator fault, kill); the connection closes after either.
+//
+// # Hot path
+//
+// The Data path is built to move bulk words with no per-frame allocation and
+// no joining copy:
+//
+//   - Writer.Words / Writer.WordsN reinterpret the word slices as their
+//     in-memory bytes on little-endian hosts (with an endian-checked encode
+//     fallback elsewhere) and hand header + payload segments to the kernel as
+//     one writev via net.Buffers — many completed blocks coalesce into one
+//     Data frame and one syscall.
+//   - Reader.NextData reads a Data payload directly into a pooled word
+//     buffer (recycled through a package-wide sync.Pool), so a frame costs
+//     zero allocations at steady state and idle connections pin no payload
+//     memory.
+//
+// Writer.WordsCopy and the Words/AppendWords byte-decoders are the
+// pre-coalescing codec, kept as the fallback path and for A/B benchmarking
+// (cohortload -wire legacy).
 package wire
 
 import (
@@ -27,6 +46,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 
 	"cohort"
 )
@@ -69,7 +89,18 @@ const WordBytes = 8
 // corrupt or hostile header cannot trigger an arbitrary allocation.
 const MaxFrame = 8 << 20
 
+// MaxFrameWords is the largest word count one Data frame can carry — the
+// coalescing ceiling for senders packing many blocks per frame.
+const MaxFrameWords = MaxFrame / WordBytes
+
 const headerBytes = 5
+
+// maxRetain caps the payload scratch capacity a Reader or Writer keeps
+// between frames. One oversized frame must not pin frame-sized memory on an
+// idle connection for the rest of its life (thousands of idle sessions would
+// each hold up to MaxFrame): anything larger is allocated one-shot and
+// returned to the GC.
+const maxRetain = 64 << 10
 
 // OpenRequest is the client's session ask — the wire form of
 // sched.SessionConfig.
@@ -139,29 +170,67 @@ type DoneReply struct {
 // writing goroutine its own.
 type Writer struct {
 	w   io.Writer
-	buf []byte
+	hdr [headerBytes]byte
+	// base is the scatter-gather vector's stable backing; vecs is the view
+	// handed to net.Buffers.WriteTo, which consumes it in place. Rebuilding
+	// vecs from base each frame keeps the vector allocation-free even though
+	// WriteTo advances the slice it is given.
+	base net.Buffers
+	vecs net.Buffers
+	buf  []byte // fallback/legacy encode scratch; retention capped at maxRetain
 }
 
 // NewWriter wraps w.
-func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, base: make(net.Buffers, 0, 4)}
+}
 
-// Frame writes one frame. The payload may be nil.
+// scratch returns an n-byte encode buffer, reusing the retained one when it
+// fits. Buffers larger than maxRetain are one-shot so an idle Writer never
+// pins a frame-sized allocation.
+func (fw *Writer) scratch(n int) []byte {
+	if cap(fw.buf) < n {
+		b := make([]byte, n)
+		if n <= maxRetain {
+			fw.buf = b
+		}
+		return b
+	}
+	return fw.buf[:n]
+}
+
+// flush writes the queued header+payload vector with one writev when the
+// destination is a net.Conn (net.Buffers scatter-gather): the header and
+// every payload segment go out in a single syscall with no joining copy.
+// For other writers each segment is written in order.
+func (fw *Writer) flush() error {
+	fw.vecs = fw.base
+	_, err := fw.vecs.WriteTo(fw.w)
+	// Drop payload references so the vector does not pin caller buffers.
+	clear(fw.base)
+	fw.base = fw.base[:0]
+	return err
+}
+
+// putHeader stages the frame header as the vector's first segment.
+func (fw *Writer) putHeader(t Type, n int) {
+	fw.hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(fw.hdr[1:headerBytes], uint32(n))
+	fw.base = append(fw.base[:0], fw.hdr[:])
+}
+
+// Frame writes one frame. The payload may be nil. The payload is not
+// retained: it is handed to the kernel (or the underlying writer) before
+// Frame returns.
 func (fw *Writer) Frame(t Type, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: %s payload %d bytes exceeds MaxFrame", t, len(payload))
 	}
-	need := headerBytes + len(payload)
-	if cap(fw.buf) < need {
-		fw.buf = make([]byte, need)
+	fw.putHeader(t, len(payload))
+	if len(payload) > 0 {
+		fw.base = append(fw.base, payload)
 	}
-	b := fw.buf[:need]
-	b[0] = byte(t)
-	binary.BigEndian.PutUint32(b[1:headerBytes], uint32(len(payload)))
-	copy(b[headerBytes:], payload)
-	// One Write per frame keeps frames atomic with respect to interleaving
-	// observers and avoids a small-write syscall for the header.
-	_, err := fw.w.Write(b)
-	return err
+	return fw.flush()
 }
 
 // JSON marshals v and writes it as a frame of type t.
@@ -173,61 +242,177 @@ func (fw *Writer) JSON(t Type, v any) error {
 	return fw.Frame(t, payload)
 }
 
-// Words writes ws as one Data frame.
+// Words writes ws as one Data frame. On little-endian hosts the slice is
+// reinterpreted as payload bytes and written zero-copy (the caller may reuse
+// ws as soon as Words returns); elsewhere it is encoded through a retained
+// scratch buffer.
 func (fw *Writer) Words(ws []cohort.Word) error {
-	need := headerBytes + len(ws)*WordBytes
-	if need > headerBytes+MaxFrame {
+	return fw.WordsN(ws)
+}
+
+// WordsN coalesces any number of word slices into a single Data frame — the
+// scatter-gather entry point for senders draining a queue's ring segments or
+// a batch of completed blocks. Header and segments reach the kernel as one
+// writev; nothing is copied on little-endian hosts.
+func (fw *Writer) WordsN(segs ...[]cohort.Word) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if total > MaxFrameWords {
+		return fmt.Errorf("wire: data frame of %d words exceeds MaxFrame", total)
+	}
+	n := total * WordBytes
+	if !hostLittle {
+		// Big-endian fallback: encode every segment into one scratch buffer.
+		b := fw.scratch(n)
+		off := 0
+		for _, s := range segs {
+			encodeWords(b[off:], s)
+			off += len(s) * WordBytes
+		}
+		fw.putHeader(Data, n)
+		if n > 0 {
+			fw.base = append(fw.base, b)
+		}
+		return fw.flush()
+	}
+	fw.putHeader(Data, n)
+	for _, s := range segs {
+		if len(s) > 0 {
+			fw.base = append(fw.base, wordsBytes(s))
+		}
+	}
+	return fw.flush()
+}
+
+// WordsCopy writes ws as one Data frame through the pre-coalescing codec: a
+// word-at-a-time encode into a joined header+payload buffer and a single
+// Write. Kept as the reference implementation and for A/B benchmarking
+// against the zero-copy path (cohortload -wire legacy); new code should use
+// Words/WordsN.
+func (fw *Writer) WordsCopy(ws []cohort.Word) error {
+	if len(ws) > MaxFrameWords {
 		return fmt.Errorf("wire: data frame of %d words exceeds MaxFrame", len(ws))
 	}
-	if cap(fw.buf) < need {
-		fw.buf = make([]byte, need)
-	}
-	b := fw.buf[:need]
+	need := headerBytes + len(ws)*WordBytes
+	b := fw.scratch(need)
 	b[0] = byte(Data)
 	binary.BigEndian.PutUint32(b[1:headerBytes], uint32(len(ws)*WordBytes))
-	for i, w := range ws {
-		binary.LittleEndian.PutUint64(b[headerBytes+i*WordBytes:], uint64(w))
-	}
+	encodeWords(b[headerBytes:], ws)
 	_, err := fw.w.Write(b)
 	return err
 }
 
 // Reader deframes inbound messages. Not safe for concurrent use.
 type Reader struct {
-	r   io.Reader
-	buf []byte
+	r    io.Reader
+	hdr  [headerBytes]byte
+	buf  []byte     // control payload scratch; retention capped at maxRetain
+	lent *wordsItem // pooled Data buffer handed out by the last NextData
 }
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
+// readHeader reads and validates one frame header: type in range, length
+// within MaxFrame, and — checked here at deframe time, before any payload
+// byte is read — Data payloads a whole number of words.
+func (fr *Reader) readHeader() (Type, int, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, 0, io.EOF
+		}
+		return 0, 0, fmt.Errorf("wire: read header: %w", err)
+	}
+	t := Type(fr.hdr[0])
+	n := int(binary.BigEndian.Uint32(fr.hdr[1:]))
+	if t < Open || t > Done {
+		return 0, 0, fmt.Errorf("wire: invalid frame type %d", fr.hdr[0])
+	}
+	if n > MaxFrame {
+		return 0, 0, fmt.Errorf("wire: %s payload %d bytes exceeds MaxFrame", t, n)
+	}
+	if t == Data && n%WordBytes != 0 {
+		return 0, 0, fmt.Errorf("wire: data payload %d bytes is not word-aligned", n)
+	}
+	return t, n, nil
+}
+
+// scratch returns an n-byte payload buffer, reusing the retained one when it
+// fits; oversized buffers are one-shot (see maxRetain).
+func (fr *Reader) scratch(n int) []byte {
+	if cap(fr.buf) < n {
+		b := make([]byte, n)
+		if n <= maxRetain {
+			fr.buf = b
+		}
+		return b
+	}
+	return fr.buf[:n]
+}
+
 // Next reads one frame and returns its type and payload. The payload slice
 // is reused by the following Next call — decode or copy before advancing.
 // Returns io.EOF cleanly only on a connection closed between frames.
 func (fr *Reader) Next() (Type, []byte, error) {
-	var hdr [headerBytes]byte
-	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return 0, nil, io.EOF
-		}
-		return 0, nil, fmt.Errorf("wire: read header: %w", err)
+	t, n, err := fr.readHeader()
+	if err != nil {
+		return 0, nil, err
 	}
-	t := Type(hdr[0])
-	n := int(binary.BigEndian.Uint32(hdr[1:]))
-	if t < Open || t > Done {
-		return 0, nil, fmt.Errorf("wire: invalid frame type %d", hdr[0])
-	}
-	if n > MaxFrame {
-		return 0, nil, fmt.Errorf("wire: %s payload %d bytes exceeds MaxFrame", t, n)
-	}
-	if cap(fr.buf) < n {
-		fr.buf = make([]byte, n)
-	}
-	payload := fr.buf[:n]
+	payload := fr.scratch(n)
 	if _, err := io.ReadFull(fr.r, payload); err != nil {
 		return 0, nil, fmt.Errorf("wire: read %s payload: %w", t, err)
 	}
 	return t, payload, nil
+}
+
+// NextData reads one frame like Next but decodes a Data payload into a
+// pooled word buffer: the bytes are read straight into the words' memory (no
+// intermediate buffer, no per-frame allocation; big-endian hosts decode in
+// place). For Data frames it returns (Data, words, nil, nil); for control
+// frames (t, nil, payload, nil) with payload as in Next.
+//
+// The word slice is valid until the next NextData or Release call — the
+// buffer then returns to a package-wide sync.Pool, so a reader parked on a
+// quiet connection pins no payload memory once released.
+func (fr *Reader) NextData() (Type, []cohort.Word, []byte, error) {
+	fr.Release()
+	t, n, err := fr.readHeader()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if t != Data {
+		payload := fr.scratch(n)
+		if _, err := io.ReadFull(fr.r, payload); err != nil {
+			return 0, nil, nil, fmt.Errorf("wire: read %s payload: %w", t, err)
+		}
+		return t, nil, payload, nil
+	}
+	it := getWords(n / WordBytes)
+	if n > 0 {
+		b := wordsBytes(it.ws)
+		if _, err := io.ReadFull(fr.r, b); err != nil {
+			putWords(it)
+			return 0, nil, nil, fmt.Errorf("wire: read %s payload: %w", t, err)
+		}
+		if !hostLittle {
+			decodeWords(it.ws, b)
+		}
+	}
+	fr.lent = it
+	return Data, it.ws, nil, nil
+}
+
+// Release returns the word buffer handed out by the last NextData to the
+// pool, invalidating that slice. Calling it is optional — the next NextData
+// releases implicitly — but callers that go idle holding a large frame
+// should release promptly so the memory is reusable elsewhere.
+func (fr *Reader) Release() {
+	if fr.lent != nil {
+		putWords(fr.lent)
+		fr.lent = nil
+	}
 }
 
 // Unmarshal decodes a JSON control payload into v.
