@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"cohort"
@@ -56,6 +57,14 @@ type Options struct {
 	// hot path. Kept so cohortload can A/B the zero-copy path against what
 	// it replaced; never set it in production.
 	LegacyCodec bool
+	// ServerTiming asks the daemon for its server-side latency attribution:
+	// sampled stage breakdowns (queue wait, scheduler dispatch, compute, wire
+	// egress) arrive as occasional Telemetry frames mid-stream and finally on
+	// Done. Read the latest with Conn.LastServerTiming; subtracting the
+	// server-resident time from an end-to-end measurement isolates network +
+	// client-side cost. Off by default — old daemons ignore unknown JSON
+	// fields and simply never send timing.
+	ServerTiming bool
 }
 
 // ErrRejected wraps the daemon's refusal to open the session (admission
@@ -98,6 +107,11 @@ type Conn struct {
 	pending []cohort.Word
 	result  *wire.DoneReply
 	recvErr error
+
+	// timing is the most recent server-side stage breakdown (Telemetry frame
+	// or DoneReply.Timing); atomic so any goroutine may read it while the
+	// receive loop runs.
+	timing atomic.Pointer[wire.TelemetryReply]
 }
 
 // Connect dials the daemon and opens a session, retrying retryable failures
@@ -155,6 +169,7 @@ func connect(addr string, opts Options) (*Conn, error) {
 	if err := c.w.JSON(wire.Open, wire.OpenRequest{
 		Tenant: opts.Tenant, Accel: opts.Accel, CSR: opts.CSR,
 		Weight: opts.Weight, Quota: opts.Quota, QueueCap: opts.QueueCap,
+		Timing: opts.ServerTiming,
 	}); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("cohort client: send open: %w", err)
@@ -276,6 +291,17 @@ func (c *Conn) nextData() ([]cohort.Word, error) {
 				continue
 			}
 			return ws, nil
+		case wire.Telemetry:
+			// Server-side stage breakdown (requested via Options.ServerTiming):
+			// keep the latest and keep streaming. Absorbed here so Recv loops
+			// never see a non-Data frame mid-stream.
+			var tel wire.TelemetryReply
+			if err := wire.Unmarshal(t, payload, &tel); err != nil {
+				c.recvErr = err
+				return nil, err
+			}
+			c.timing.Store(&tel)
+			continue
 		case wire.Done:
 			var done wire.DoneReply
 			if err := wire.Unmarshal(t, payload, &done); err != nil {
@@ -283,6 +309,9 @@ func (c *Conn) nextData() ([]cohort.Word, error) {
 				return nil, err
 			}
 			c.result = &done
+			if done.Timing != nil {
+				c.timing.Store(done.Timing)
+			}
 			if done.Err != "" {
 				c.recvErr = fmt.Errorf("cohort client: session ended: %s", done.Err)
 				return nil, c.recvErr
@@ -364,6 +393,13 @@ func (c *Conn) RecvInto(buf []cohort.Word) (int, error) {
 // Result returns the daemon's final session counters. Nil until Recv has
 // returned io.EOF (or a session-ended error).
 func (c *Conn) Result() *wire.DoneReply { return c.result }
+
+// LastServerTiming returns the most recent server-side stage breakdown the
+// daemon has sent for this session — nil until the first Telemetry frame
+// arrives (the session must have been opened with Options.ServerTiming and
+// have served enough quanta to be sampled). The final Done refreshes it with
+// whole-session figures. Safe to call from any goroutine.
+func (c *Conn) LastServerTiming() *wire.TelemetryReply { return c.timing.Load() }
 
 // Stream runs a whole job: sends in (concurrently), closes the outbound
 // stream, and collects every result word until the daemon's Done. It is the

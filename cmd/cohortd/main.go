@@ -5,20 +5,35 @@
 // with the cohort/client package.
 //
 // The observability plane (-http) serves /metrics with per-tenant labeled
-// session counters, /healthz with a degraded-but-alive verdict over the
-// scheduler's fault-containment counters, /sessions with a JSON snapshot of
-// live sessions, /trace with the scheduler's flight-recorder ring, and
+// session counters and stage-latency histograms, /healthz with a
+// degraded-but-alive verdict over the scheduler's fault-containment counters
+// plus a stall watchdog over every engine worker, /sessions with a JSON
+// snapshot of live sessions (admission timestamps, cumulative counters,
+// sampled latency), /stats/latency with the per-tenant serving-stage
+// breakdown, /trace with the scheduler's flight-recorder ring, and
 // /debug/pprof.
+//
+// Latency attribution: -latency-sample N stamps one scheduling quantum in
+// every N at its stage boundaries (queue wait, dispatch, compute, wire
+// egress); clients that opt in (client.Options.ServerTiming) additionally
+// receive the breakdown over the wire. -latency-sample -1 disables
+// attribution entirely.
+//
+// Connection lifecycle is logged with log/slog (structured key=value
+// records: session id, tenant, remote address); -log-level picks the floor.
 //
 // Fault tolerance: -retries gives every session a per-block retry budget for
 // transient accelerator faults (with -retry-backoff pacing the attempts); a
 // terminal fault retires only the faulting session — other tenants keep
-// their fair shares and the daemon keeps serving.
+// their fair shares and the daemon keeps serving. A worker that stops
+// completing work for -stall-window while sessions wait is reported stalled
+// on /healthz (503) and dumps the flight ring.
 //
 // -smoke runs a self-test instead of serving: it starts the daemon on a
 // loopback port, streams a SHA-256 job through a real client connection,
-// checks the digests against a local software run, and exits — the CI
-// end-to-end check for the whole serving stack.
+// checks the digests against a local software run — and, with timing
+// requested, that the server-side stage breakdown came back — and exits.
+// It is the CI end-to-end check for the whole serving stack.
 package main
 
 import (
@@ -26,8 +41,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
+	"os"
 	"time"
 
 	"cohort"
@@ -37,41 +53,52 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cohortd: ")
 	var (
-		listen       = flag.String("listen", "127.0.0.1:7411", "serve the wire protocol on this TCP address")
-		engines      = flag.Int("engines", 2, "engine worker pool size")
-		quantum      = flag.Int("quantum", 32, "max blocks served per scheduling decision")
-		switchCost   = flag.Duration("switch-cost", 0, "modeled cohort_register CSR-swap cost per session switch")
-		maxSessions  = flag.Int("max-sessions", 64, "admission control: max concurrently live sessions")
-		queueCap     = flag.Int("queue-cap", 4096, "default per-direction session queue capacity in words")
-		retries      = flag.Int("retries", 0, "per-block retry budget for transient accelerator faults (0 = every fault is terminal)")
-		retryBackoff = flag.Duration("retry-backoff", 100*time.Microsecond, "pause before the first retry, doubling per attempt")
-		httpAddr     = flag.String("http", "", "serve /metrics, /healthz, /sessions, /trace and /debug/pprof on this address (e.g. :9122)")
-		noDelay      = flag.Bool("nodelay", true, "set TCP_NODELAY on accepted connections (frames flush without Nagle delay)")
-		sockBuf      = flag.Int("sockbuf", 0, "socket read/write buffer size in bytes for accepted connections (0: kernel default)")
-		smoke        = flag.Bool("smoke", false, "run the loopback self-test and exit")
+		listen        = flag.String("listen", "127.0.0.1:7411", "serve the wire protocol on this TCP address")
+		engines       = flag.Int("engines", 2, "engine worker pool size")
+		quantum       = flag.Int("quantum", 32, "max blocks served per scheduling decision")
+		switchCost    = flag.Duration("switch-cost", 0, "modeled cohort_register CSR-swap cost per session switch")
+		maxSessions   = flag.Int("max-sessions", 64, "admission control: max concurrently live sessions")
+		queueCap      = flag.Int("queue-cap", 4096, "default per-direction session queue capacity in words")
+		retries       = flag.Int("retries", 0, "per-block retry budget for transient accelerator faults (0 = every fault is terminal)")
+		retryBackoff  = flag.Duration("retry-backoff", 100*time.Microsecond, "pause before the first retry, doubling per attempt")
+		latencySample = flag.Int("latency-sample", 64, "stage-latency attribution: stamp 1 in N scheduling quanta (-1 disables)")
+		stallWindow   = flag.Duration("stall-window", 2*time.Second, "declare an engine worker stalled after this long without progress while work waits")
+		httpAddr      = flag.String("http", "", "serve /metrics, /healthz, /sessions, /stats/latency, /trace and /debug/pprof on this address (e.g. :9122)")
+		noDelay       = flag.Bool("nodelay", true, "set TCP_NODELAY on accepted connections (frames flush without Nagle delay)")
+		sockBuf       = flag.Int("sockbuf", 0, "socket read/write buffer size in bytes for accepted connections (0: kernel default)")
+		logLevel      = flag.String("log-level", "info", "log floor: debug, info, warn or error")
+		smoke         = flag.Bool("smoke", false, "run the loopback self-test and exit")
 	)
 	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "cohortd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	cfg := sched.Config{
 		Engines: *engines, Quantum: *quantum, SwitchCost: *switchCost,
 		MaxSessions: *maxSessions, QueueCap: *queueCap,
 		Retries: *retries, RetryBackoff: *retryBackoff,
+		LatencySample: *latencySample,
 	}
 	if *smoke {
 		if err := runSmoke(cfg); err != nil {
-			log.Fatal(err)
+			logger.Error("smoke failed", "err", err)
+			os.Exit(1)
 		}
 		return
 	}
-	if err := run(cfg, *listen, *httpAddr, *noDelay, *sockBuf); err != nil {
-		log.Fatal(err)
+	if err := run(cfg, logger, *listen, *httpAddr, *noDelay, *sockBuf, *stallWindow); err != nil {
+		logger.Error("cohortd exiting", "err", err)
+		os.Exit(1)
 	}
 }
 
-func run(cfg sched.Config, listen, httpAddr string, noDelay bool, sockBuf int) error {
+func run(cfg sched.Config, logger *slog.Logger, listen, httpAddr string, noDelay bool, sockBuf int, stallWindow time.Duration) error {
 	reg := cohort.NewRegistry()
 	flight := cohort.NewFlightRecorder(4096)
 	cfg.Registry = reg
@@ -82,6 +109,7 @@ func run(cfg sched.Config, listen, httpAddr string, noDelay bool, sockBuf int) e
 	sv.NoDelay = noDelay
 	sv.ReadBufferSize = sockBuf
 	sv.WriteBufferSize = sockBuf
+	sv.Log = logger
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -89,21 +117,43 @@ func run(cfg sched.Config, listen, httpAddr string, noDelay bool, sockBuf int) e
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- sv.Serve(ln) }()
 
+	// Stall watchdog over the engine workers: a worker that stops completing
+	// quanta while sessions have runnable work shows on /healthz (503) and
+	// dumps the flight ring for post-mortem.
+	dog := cohort.NewWatchdog(stallWindow,
+		cohort.WithStallDump(flight),
+		cohort.WithStallCallback(func(ev cohort.StallEvent) {
+			logger.Warn("worker stalled", "worker", ev.Engine, "idle", ev.Idle)
+		}),
+	)
+	s.WatchWorkers(dog)
+	cohort.RegisterWatchdog(reg, "watchdog", dog)
+
 	var web *obsrv.Server
 	if httpAddr != "" {
 		web = obsrv.New(obsrv.Options{
-			MetricsText: reg.WritePrometheus,
-			TraceJSON:   func(w io.Writer) error { return flight.WriteChrome(w, "cohortd") },
-			Sessions:    func() any { return s.Sessions() },
+			MetricsText:  reg.WritePrometheus,
+			TraceJSON:    func(w io.Writer) error { return flight.WriteChrome(w, "cohortd") },
+			Sessions:     func() any { return s.Sessions() },
+			LatencyStats: func() any { return s.LatencyStats() },
 			// /healthz: the serving plane is degraded-but-alive (200,
 			// "degraded") once it has contained terminal faults or kills; a
-			// live session parked on an error shows as its own degraded row.
+			// live session parked on an error shows as its own degraded row;
+			// a stalled or parked engine worker (watchdog verdict) flips the
+			// whole document unhealthy (503).
 			Health: func() []obsrv.Health {
 				st := s.Stats()
 				hs := []obsrv.Health{{Name: "sched"}}
 				if n := st.TerminalFaults + st.Kills; n > 0 {
 					hs[0].Degraded = fmt.Sprintf("%d terminal faults, %d kills contained",
 						st.TerminalFaults, st.Kills)
+				}
+				for _, h := range dog.Health() {
+					row := obsrv.Health{Name: h.Engine, Stalled: h.Stalled, Idle: h.Idle}
+					if h.Err != nil {
+						row.Err = h.Err.Error()
+					}
+					hs = append(hs, row)
 				}
 				for _, ses := range s.Sessions() {
 					if ses.Err != "" {
@@ -117,11 +167,13 @@ func run(cfg sched.Config, listen, httpAddr string, noDelay bool, sockBuf int) e
 			},
 		})
 		if err := web.Serve(httpAddr); err != nil {
+			dog.Stop()
 			sv.Close()
 			s.Close()
 			return err
 		}
-		fmt.Printf("observability plane on http://%s (/metrics /sessions /trace /debug/pprof)\n", web.Addr())
+		logger.Info("observability plane up", "addr", web.Addr(),
+			"endpoints", "/metrics /healthz /sessions /stats/latency /trace /debug/pprof")
 	}
 
 	obsrv.AwaitShutdown(
@@ -129,6 +181,7 @@ func run(cfg sched.Config, listen, httpAddr string, noDelay bool, sockBuf int) e
 			cfg.Engines, ln.Addr(), cfg.Quantum),
 		func() { sv.Close() },
 		func() { s.Close() },
+		func() { dog.Stop() },
 		func() {
 			if web != nil {
 				web.Close()
@@ -143,10 +196,15 @@ func run(cfg sched.Config, listen, httpAddr string, noDelay bool, sockBuf int) e
 
 // runSmoke is the end-to-end self-test: real scheduler, real TCP listener,
 // real client, SHA-256 digests checked word for word against a local
-// software run of the same accelerator.
+// software run of the same accelerator — plus the latency-attribution path:
+// the client opts into server timing and the Done frame must carry a stage
+// breakdown with at least one sampled compute quantum.
 func runSmoke(cfg sched.Config) error {
 	reg := cohort.NewRegistry()
 	cfg.Registry = reg
+	// Sample every quantum so the tiny smoke job reliably produces stage
+	// samples for the Done timing check.
+	cfg.LatencySample = 1
 	s := sched.New(cfg)
 	defer s.Close()
 	sv := sched.NewServer(s, nil)
@@ -173,7 +231,9 @@ func runSmoke(cfg sched.Config) error {
 	}
 
 	start := time.Now()
-	c, err := client.Connect(ln.Addr().String(), client.Options{Tenant: "smoke", Accel: "sha256"})
+	c, err := client.Connect(ln.Addr().String(), client.Options{
+		Tenant: "smoke", Accel: "sha256", ServerTiming: true,
+	})
 	if err != nil {
 		return err
 	}
@@ -193,10 +253,21 @@ func runSmoke(cfg sched.Config) error {
 	if res == nil || res.Blocks != blocks {
 		return fmt.Errorf("smoke: done reply %+v, want %d blocks", res, blocks)
 	}
+	elapsed := time.Since(start)
+	timing := c.LastServerTiming()
+	if timing == nil || res.Timing == nil {
+		return fmt.Errorf("smoke: no server timing in done reply (timing requested)")
+	}
+	if timing.Compute.Samples == 0 {
+		return fmt.Errorf("smoke: server timing has no compute samples: %+v", timing)
+	}
+	if sum := timing.ServerMeanNs(); sum <= 0 || sum > float64(elapsed) {
+		return fmt.Errorf("smoke: server stage sum %.0fns outside (0, e2e %dns]", sum, elapsed)
+	}
 	if n := len(s.Sessions()); n != 0 {
 		return fmt.Errorf("smoke: %d sessions still live after done", n)
 	}
-	fmt.Printf("smoke ok: %d sha256 blocks round-tripped over %s in %v (session %d)\n",
-		blocks, ln.Addr(), time.Since(start).Round(time.Microsecond), c.Session())
+	fmt.Printf("smoke ok: %d sha256 blocks round-tripped over %s in %v (session %d, server-resident mean %.1fµs/quantum)\n",
+		blocks, ln.Addr(), elapsed.Round(time.Microsecond), c.Session(), timing.ServerMeanNs()/1e3)
 	return nil
 }

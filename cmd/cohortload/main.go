@@ -40,6 +40,7 @@ import (
 	"cohort"
 	"cohort/client"
 	"cohort/internal/sched"
+	"cohort/internal/wire"
 )
 
 func main() {
@@ -61,6 +62,7 @@ func main() {
 	legacy := flag.Bool("legacy", false, "use the pre-coalescing legacy codec (single run)")
 	compare := flag.Bool("compare", false, "run legacy then batched against spawned daemons and report the speedup")
 	out := flag.String("o", "BENCH_serve.json", "JSON report path (empty: skip)")
+	latOut := flag.String("latency-report", "BENCH_latency.json", "decomposed server-stage latency report path (empty: skip; batched runs only)")
 	flag.Parse()
 
 	if cfg.batch%cfg.block != 0 {
@@ -107,19 +109,54 @@ func main() {
 			report.SpeedupGoodput, runs[1].GoodputMiBPerS, runs[0].GoodputMiBPerS)
 	}
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
+		writeJSON(*out, report)
 		fmt.Printf("report: %s\n", *out)
+	}
+	if *latOut != "" {
+		// Standalone decomposed-latency artifact: the last run with a server
+		// stage breakdown (the batched run in -compare), paired with its
+		// end-to-end quantiles so a checker can assert stage-sum ≤ e2e.
+		for i := len(runs) - 1; i >= 0; i-- {
+			if runs[i].ServerStages == nil {
+				continue
+			}
+			writeJSON(*latOut, latencyReport{
+				Benchmark:     "cohortload/latency",
+				GeneratedUnix: time.Now().Unix(),
+				Mode:          runs[i].Mode,
+				BlockP50Us:    runs[i].BlockP50us,
+				BlockP99Us:    runs[i].BlockP99us,
+				Stages:        runs[i].ServerStages,
+			})
+			fmt.Printf("latency report: %s\n", *latOut)
+			break
+		}
+	}
+}
+
+// latencyReport is the BENCH_latency.json document: one run's server-side
+// stage decomposition next to the end-to-end quantiles it must fit inside.
+type latencyReport struct {
+	Benchmark     string        `json:"benchmark"`
+	GeneratedUnix int64         `json:"generated_unix"`
+	Mode          string        `json:"mode"`
+	BlockP50Us    float64       `json:"block_p50_us"`
+	BlockP99Us    float64       `json:"block_p99_us"`
+	Stages        *serverStages `json:"stages"`
+}
+
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -163,6 +200,63 @@ type runResult struct {
 	BlockP999us      float64 `json:"block_p999_us"`
 	SessionP50ms     float64 `json:"session_p50_ms"`
 	SessionP99ms     float64 `json:"session_p99_ms"`
+	// ServerStages decomposes where the server-resident time went (batched
+	// runs only: the clients opt into wire telemetry and the daemon's sampled
+	// stage attribution fills it). Comparing ServerMeanUs against the
+	// end-to-end block quantiles splits latency into server-resident vs
+	// network + client-side cost.
+	ServerStages *serverStages `json:"server_stages,omitempty"`
+}
+
+// stageAgg is one stage aggregated across every tenant session of a run:
+// samples-weighted mean, worst per-session p99.
+type stageAgg struct {
+	Samples uint64  `json:"samples"`
+	MeanUs  float64 `json:"mean_us"`
+	P99Us   float64 `json:"p99_us"`
+}
+
+// serverStages is a run's server-side latency decomposition, aggregated from
+// the per-session Telemetry documents the daemon sent back.
+type serverStages struct {
+	Sessions     int      `json:"sessions"` // sessions that reported timing
+	Queue        stageAgg `json:"queue"`
+	Sched        stageAgg `json:"sched"`
+	Compute      stageAgg `json:"compute"`
+	Wire         stageAgg `json:"wire"`
+	ServerMeanUs float64  `json:"server_mean_us"` // sum of the four stage means
+}
+
+// aggregateStages folds per-session telemetry into one run-level breakdown.
+func aggregateStages(ts []*wire.TelemetryReply) *serverStages {
+	if len(ts) == 0 {
+		return nil
+	}
+	agg := &serverStages{Sessions: len(ts)}
+	acc := func(dst *stageAgg, st wire.StageTiming) {
+		dst.Samples += st.Samples
+		dst.MeanUs += st.MeanNs * float64(st.Samples) // ns-sum until fin
+		if p := st.P99Ns / 1e3; p > dst.P99Us {
+			dst.P99Us = round2(p)
+		}
+	}
+	for _, t := range ts {
+		acc(&agg.Queue, t.Queue)
+		acc(&agg.Sched, t.Sched)
+		acc(&agg.Compute, t.Compute)
+		acc(&agg.Wire, t.Wire)
+	}
+	fin := func(dst *stageAgg) {
+		if dst.Samples > 0 {
+			dst.MeanUs = round2(dst.MeanUs / float64(dst.Samples) / 1e3)
+		}
+	}
+	fin(&agg.Queue)
+	fin(&agg.Sched)
+	fin(&agg.Compute)
+	fin(&agg.Wire)
+	agg.ServerMeanUs = round2(agg.Queue.MeanUs + agg.Sched.MeanUs + agg.Compute.MeanUs + agg.Wire.MeanUs)
+	return agg
 }
 
 type benchReport struct {
@@ -243,6 +337,7 @@ func oneRun(cfg runConfig, legacy bool) (runResult, error) {
 		sessLat  []int64 // ns
 		words    uint64
 		blocks   uint64
+		timings  []*wire.TelemetryReply
 	)
 	start := time.Now()
 	perSess := cfg.rate / float64(cfg.tenants)
@@ -266,6 +361,9 @@ func oneRun(cfg runConfig, legacy bool) (runResult, error) {
 			sessLat = append(sessLat, int64(w.sessDur))
 			words += w.words
 			blocks += w.blocks
+			if w.timing != nil {
+				timings = append(timings, w.timing)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -284,6 +382,7 @@ func oneRun(cfg runConfig, legacy bool) (runResult, error) {
 		BlockP999us:      quantUS(blockLat, 0.999),
 		SessionP50ms:     round4(quantUS(sessLat, 0.50) / 1e3),
 		SessionP99ms:     round4(quantUS(sessLat, 0.99) / 1e3),
+		ServerStages:     aggregateStages(timings),
 	}
 	// benchstat-compatible: one line per run, ns/op is per block served.
 	coalesce := cfg.coalesce
@@ -294,6 +393,21 @@ func oneRun(cfg runConfig, legacy bool) (runResult, error) {
 	fmt.Printf("BenchmarkServe/mode=%s/block=%d/batch=%d/coalesce=%d/tenants=%d \t%8d\t%12.1f ns/op\t%10.2f MB/s\t%10.1f p99-us\n",
 		mode, cfg.block, cfg.batch, coalesce, cfg.tenants, blocks, nsPerBlock,
 		float64(words)*8/1e6/elapsed.Seconds(), res.BlockP99us)
+	if sg := res.ServerStages; sg != nil {
+		// Decomposed e2e latency: the server-resident stage means (sampled
+		// per quantum) versus the client's open-loop block quantiles. The
+		// remainder is network transit + client-side time + unsampled skew.
+		fmt.Printf("  server stages (%d sessions reporting):\n", sg.Sessions)
+		for _, row := range []struct {
+			name string
+			a    stageAgg
+		}{{"queue", sg.Queue}, {"sched", sg.Sched}, {"compute", sg.Compute}, {"wire", sg.Wire}} {
+			fmt.Printf("    %-8s mean %9.2f us   p99 %9.2f us   (n=%d)\n",
+				row.name, row.a.MeanUs, row.a.P99Us, row.a.Samples)
+		}
+		fmt.Printf("    %-8s mean %9.2f us   vs e2e block p50 %.2f us / p99 %.2f us\n",
+			"server", sg.ServerMeanUs, res.BlockP50us, res.BlockP99us)
+	}
 	return res, nil
 }
 
@@ -308,6 +422,7 @@ type worker struct {
 	sessDur time.Duration
 	words   uint64
 	blocks  uint64
+	timing  *wire.TelemetryReply // final server-side stage breakdown (batched runs)
 }
 
 type config = runConfig
@@ -316,8 +431,11 @@ type config = runConfig
 // drains to Done. The receive side runs concurrently so backpressure is the
 // server's, not the harness's.
 func (w *worker) run() error {
+	// Batched runs opt into server-side timing; the legacy run must stay the
+	// faithful pre-change stack, which had no telemetry.
 	c, err := client.Connect(w.addr, client.Options{
 		Tenant: w.tenant, Accel: w.cfg.accel, LegacyCodec: w.legacy,
+		ServerTiming: !w.legacy,
 	})
 	if err != nil {
 		return err
@@ -407,6 +525,7 @@ func (w *worker) run() error {
 	if res := c.Result(); res == nil || res.Err != "" {
 		return fmt.Errorf("session did not finish cleanly: %+v", res)
 	}
+	w.timing = c.LastServerTiming()
 	return nil
 }
 

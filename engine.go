@@ -2,7 +2,6 @@ package cohort
 
 import (
 	"fmt"
-	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -81,7 +80,7 @@ type Engine struct {
 	// histo is the drain→publish latency distribution, log2-bucketed in
 	// nanoseconds and sampled every histoSampleEvery-th wakeup so the clock
 	// reads stay off the common path.
-	histo [histoBuckets]atomic.Uint64
+	histo LatencyRecorder
 }
 
 // histoSampleEvery must be a power of two; one in this many wakeups pays the
@@ -572,12 +571,7 @@ func (e *Engine) finishEOS(fill int) {
 
 // recordDrain files one sampled drain→publish latency into the histogram.
 func (e *Engine) recordDrain(start time.Time) {
-	ns := uint64(time.Since(start))
-	i := bits.Len64(ns)
-	if i >= histoBuckets {
-		i = histoBuckets - 1
-	}
-	e.histo[i].Add(1)
+	e.histo.Observe(uint64(time.Since(start)))
 }
 
 // pushSliceStoppable bulk-pushes ws into q, giving up if the engine is
@@ -668,9 +662,7 @@ func (e *Engine) StatsDetail() EngineStats {
 		Recovered:     e.recovered.Load(),
 		DroppedWords:  e.dropped.Load(),
 	}
-	for i := range e.histo {
-		s.DrainNs.Buckets[i] = e.histo[i].Load()
-	}
+	s.DrainNs = e.histo.Snapshot()
 	return s
 }
 
@@ -685,9 +677,7 @@ func (e *Engine) ResetStats() {
 	e.dropped.Store(0)
 	e.retried.Store(0)
 	e.recovered.Store(0)
-	for i := range e.histo {
-		e.histo[i].Store(0)
-	}
+	e.histo.Reset()
 }
 
 // Chain registers a pipeline of accelerators connected by freshly allocated

@@ -10,6 +10,7 @@
 //	/healthz        JSON liveness per engine; 503 if any engine is unhealthy
 //	/trace          on-demand Chrome trace JSON dump (open in Perfetto)
 //	/sessions       JSON snapshot of live serving sessions (cohortd)
+//	/stats/latency  JSON per-tenant serving-stage latency breakdown (cohortd)
 //	/debug/pprof/*  standard Go profiling (CPU, heap, goroutine, ...)
 //
 // The package deliberately depends only on the standard library and is
@@ -63,6 +64,10 @@ type Options struct {
 	// Sessions snapshots live serving sessions for /sessions; the returned
 	// value is marshaled as indented JSON (e.g. []sched.SessionInfo).
 	Sessions func() any
+	// LatencyStats snapshots the per-tenant serving-stage latency breakdown
+	// for /stats/latency; the returned value is marshaled as indented JSON
+	// (e.g. []sched.TenantLatency).
+	LatencyStats func() any
 }
 
 // Server serves the observability endpoints over HTTP.
@@ -84,6 +89,7 @@ func New(opts Options) *Server {
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/trace", s.trace)
 	mux.HandleFunc("/sessions", s.sessions)
+	mux.HandleFunc("/stats/latency", s.latency)
 	mux.HandleFunc("/", s.index)
 	// net/http/pprof registers on DefaultServeMux at import; wire the
 	// handlers explicitly so this mux works standalone.
@@ -201,6 +207,17 @@ func (s *Server) sessions(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(s.opts.Sessions()) //nolint:errcheck // response writer
 }
 
+func (s *Server) latency(w http.ResponseWriter, r *http.Request) {
+	if s.opts.LatencyStats == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.opts.LatencyStats()) //nolint:errcheck // response writer
+}
+
 // index is a minimal landing page listing the endpoints.
 func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -208,7 +225,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "cohort observability\n\n/metrics\n/healthz\n/trace\n/sessions\n/debug/pprof/\n") //nolint:errcheck
+	io.WriteString(w, "cohort observability\n\n/metrics\n/healthz\n/trace\n/sessions\n/stats/latency\n/debug/pprof/\n") //nolint:errcheck
 }
 
 // AwaitShutdown is the shared daemon exit path: print banner (when

@@ -185,3 +185,51 @@ func TestServeBindsAndCloses(t *testing.T) {
 		t.Errorf("second Close: %v", err)
 	}
 }
+
+func TestLatencyStatsEndpoint(t *testing.T) {
+	// No source wired: the endpoint 404s rather than serving "null".
+	if rec, _ := get(t, New(Options{}).Handler(), "/stats/latency"); rec.Code != http.StatusNotFound {
+		t.Errorf("status = %d without a source, want 404", rec.Code)
+	}
+
+	type stage struct {
+		Samples uint64  `json:"samples"`
+		MeanNs  float64 `json:"mean_ns"`
+	}
+	s := New(Options{LatencyStats: func() any {
+		return []map[string]any{{
+			"tenant": "acme", "live_sessions": 2, "sample_every": 64,
+			"stages": map[string]stage{"compute": {Samples: 41, MeanNs: 7300}},
+		}}
+	}})
+	rec, body := get(t, s.Handler(), "/stats/latency")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var doc []struct {
+		Tenant string           `json:"tenant"`
+		Stages map[string]stage `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("body is not JSON: %v\n%s", err, body)
+	}
+	if len(doc) != 1 || doc[0].Tenant != "acme" || doc[0].Stages["compute"].Samples != 41 {
+		t.Errorf("decoded doc = %+v", doc)
+	}
+	if !strings.Contains(body, "\n  ") {
+		t.Errorf("latency stats not indented for curl readability: %q", body)
+	}
+}
+
+func TestIndexListsLatencyEndpoint(t *testing.T) {
+	rec, body := get(t, New(Options{}).Handler(), "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(body, "/stats/latency") {
+		t.Errorf("index does not advertise /stats/latency: %q", body)
+	}
+}

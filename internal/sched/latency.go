@@ -1,0 +1,256 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"cohort"
+	"cohort/internal/wire"
+)
+
+// This file is the serving stack's latency attribution layer: every block a
+// session serves crosses the same stage boundaries — wire ingress, input
+// queue, scheduler dispatch, engine compute, output queue, wire egress — and
+// on a sampled 1-in-LatencySample basis the scheduler stamps those
+// boundaries with monotonic clock reads and files the deltas into per-stage
+// log2 histograms. The decomposition mirrors the Fig. 8 critical-path
+// categories the offline cohorttrace view computes (producer wait → queue,
+// scheduling → sched, rcm/compute → compute, drain/publish → wire), so the
+// live /stats/latency document and a recorded trace agree on where the
+// microseconds go.
+//
+// Stage semantics (all server-side; network transit is the client's to
+// measure by subtraction):
+//
+//	queue    head-of-batch wait in the session input queue: from the first
+//	         un-dispatched Data frame landing in the queue (stamped by the
+//	         socket reader) to the scheduler dispatching the session.
+//	sched    dispatch to compute: the pick-to-process gap, including the
+//	         modeled CSR-swap SwitchCost and the quantum's staging copy.
+//	compute  the accelerator Process loop over the quantum's blocks,
+//	         including any transient-fault retries.
+//	wire     results published to the output queue until the socket pump
+//	         has handed the coalesced Data frame to the kernel.
+//
+// The stamps live off the zero-alloc hot path's critical sections: unsampled
+// quanta cost one atomic store (clearing the ingress stamp); sampled quanta
+// pay four time.Now calls for a whole quantum of blocks. Nothing allocates —
+// TestServeSteadyStateAllocs runs with sampling enabled.
+
+// Stage names, in pipeline order — the keys of every exported breakdown.
+const (
+	StageQueue   = "queue"
+	StageSched   = "sched"
+	StageCompute = "compute"
+	StageWire    = "wire"
+)
+
+// stageSet is one scope's four stage accumulators (per session, and
+// aggregated per tenant for the lifetime of the scheduler).
+type stageSet struct {
+	queue   cohort.LatencyRecorder
+	sched   cohort.LatencyRecorder
+	compute cohort.LatencyRecorder
+	wire    cohort.LatencyRecorder
+}
+
+// metrics renders the set as histogram-valued metrics for a Registry source.
+func (sl *stageSet) metrics() []cohort.Metric {
+	q, s, c, w := sl.queue.Snapshot(), sl.sched.Snapshot(), sl.compute.Snapshot(), sl.wire.Snapshot()
+	return []cohort.Metric{
+		{Name: "stage_queue_ns", Histo: &q},
+		{Name: "stage_sched_ns", Histo: &s},
+		{Name: "stage_compute_ns", Histo: &c},
+		{Name: "stage_wire_ns", Histo: &w},
+	}
+}
+
+// StageQuantiles is one stage's distribution summary: sample count, exact
+// mean, and interpolated log2-bucket quantiles, all in nanoseconds.
+type StageQuantiles struct {
+	Samples uint64  `json:"samples"`
+	MeanNs  float64 `json:"mean_ns"`
+	P50Ns   float64 `json:"p50_ns"`
+	P95Ns   float64 `json:"p95_ns"`
+	P99Ns   float64 `json:"p99_ns"`
+}
+
+// quantiles summarizes one recorder.
+func quantiles(r *cohort.LatencyRecorder) StageQuantiles {
+	h := r.Snapshot()
+	n := h.Samples()
+	sq := StageQuantiles{Samples: n}
+	if n == 0 {
+		return sq
+	}
+	sq.MeanNs = float64(r.SumNs()) / float64(n)
+	sq.P50Ns = h.Quantile(0.5)
+	sq.P95Ns = h.Quantile(0.95)
+	sq.P99Ns = h.Quantile(0.99)
+	return sq
+}
+
+// StageBreakdown is the four-stage summary of one scope (a session or a
+// tenant) — the /stats/latency row body and the /sessions latency field.
+type StageBreakdown struct {
+	Queue   StageQuantiles `json:"queue"`
+	Sched   StageQuantiles `json:"sched"`
+	Compute StageQuantiles `json:"compute"`
+	Wire    StageQuantiles `json:"wire"`
+}
+
+// breakdown summarizes a stage set.
+func (sl *stageSet) breakdown() StageBreakdown {
+	return StageBreakdown{
+		Queue:   quantiles(&sl.queue),
+		Sched:   quantiles(&sl.sched),
+		Compute: quantiles(&sl.compute),
+		Wire:    quantiles(&sl.wire),
+	}
+}
+
+// telemetry renders the set as the wire-protocol timing document.
+func (sl *stageSet) telemetry(session uint64) wire.TelemetryReply {
+	return wire.TelemetryReply{
+		Session: session,
+		Queue:   stageTiming(&sl.queue),
+		Sched:   stageTiming(&sl.sched),
+		Compute: stageTiming(&sl.compute),
+		Wire:    stageTiming(&sl.wire),
+	}
+}
+
+func stageTiming(r *cohort.LatencyRecorder) wire.StageTiming {
+	q := quantiles(r)
+	return wire.StageTiming{
+		Samples: q.Samples, MeanNs: q.MeanNs, P50Ns: q.P50Ns, P99Ns: q.P99Ns,
+	}
+}
+
+// TenantLatency is one tenant's row in the /stats/latency document. The
+// aggregate persists across that tenant's session churn: it accumulates from
+// the first session the tenant ever opens until the scheduler closes.
+type TenantLatency struct {
+	Tenant string `json:"tenant"`
+	// Live is how many of the tenant's sessions are currently registered.
+	Live int `json:"live_sessions"`
+	// SampleEvery is the quantum sampling stride the stats were collected at.
+	SampleEvery int            `json:"sample_every"`
+	Stages      StageBreakdown `json:"stages"`
+}
+
+// LatencyStats snapshots every tenant's stage-latency aggregate, sorted by
+// tenant name — the /stats/latency payload.
+func (s *Scheduler) LatencyStats() []TenantLatency {
+	s.mu.Lock()
+	tenants := make(map[string]*stageSet, len(s.tenantLat))
+	for t, sl := range s.tenantLat {
+		tenants[t] = sl
+	}
+	live := make(map[string]int)
+	for _, ss := range s.sessions {
+		live[ss.tenant]++
+	}
+	s.mu.Unlock()
+	out := make([]TenantLatency, 0, len(tenants))
+	for t, sl := range tenants {
+		out = append(out, TenantLatency{
+			Tenant: t, Live: live[t], SampleEvery: s.cfg.LatencySample,
+			Stages: sl.breakdown(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// tenantStages returns (creating on first use) the persistent per-tenant
+// aggregate and registers its metric source. Caller holds s.mu.
+func (s *Scheduler) tenantStagesLocked(tenant string) *stageSet {
+	if sl, ok := s.tenantLat[tenant]; ok {
+		return sl
+	}
+	sl := &stageSet{}
+	s.tenantLat[tenant] = sl
+	if reg := s.cfg.Registry; reg != nil {
+		// Tenant aggregates outlive sessions: the source unregisters only at
+		// Close, so dashboards keep a tenant's history across session churn.
+		reg.RegisterLabeled("latency/"+tenant,
+			[]cohort.Label{{Key: "tenant", Value: tenant}}, sl.metrics)
+	}
+	return sl
+}
+
+// Telemetry renders the session's whole-life stage breakdown as the wire
+// timing document — the payload of mid-stream Telemetry frames and of
+// DoneReply.Timing for sessions that opted in (OpenRequest.Timing).
+func (ss *Session) Telemetry() wire.TelemetryReply { return ss.lat.telemetry(ss.id) }
+
+// LatencySamples returns the total stage samples filed for the session — a
+// cheap monotone cursor the result pump compares to decide whether a fresh
+// Telemetry frame would carry anything new.
+func (ss *Session) LatencySamples() uint64 {
+	return ss.lat.queue.Samples() + ss.lat.sched.Samples() +
+		ss.lat.compute.Samples() + ss.lat.wire.Samples()
+}
+
+// LatencyBreakdown snapshots the session's own stage quantiles.
+func (ss *Session) LatencyBreakdown() StageBreakdown { return ss.lat.breakdown() }
+
+// observeStage files one stage delta into both the session's own set and its
+// tenant's persistent aggregate.
+func (ss *Session) observeStage(stage string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	switch stage {
+	case StageQueue:
+		ss.lat.queue.Observe(ns)
+		ss.tlat.queue.Observe(ns)
+	case StageSched:
+		ss.lat.sched.Observe(ns)
+		ss.tlat.sched.Observe(ns)
+	case StageCompute:
+		ss.lat.compute.Observe(ns)
+		ss.tlat.compute.Observe(ns)
+	case StageWire:
+		ss.lat.wire.Observe(ns)
+		ss.tlat.wire.Observe(ns)
+	}
+}
+
+// markIngress stamps the arrival of un-dispatched input: the socket reader
+// (or a local producer wrapper) calls it after pushing words into the session
+// input queue. Only the first push since the last dispatch writes — the stamp
+// tracks the head of the waiting batch.
+func (ss *Session) markIngress() {
+	if ss.ingressNs.Load() == 0 {
+		ss.ingressNs.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// takeIngress consumes the ingress stamp at dispatch: it returns the stamp
+// (0 when no push has landed since the last dispatch) and clears it so the
+// next push restarts the head-of-batch clock.
+func (ss *Session) takeIngress() uint64 { return ss.ingressNs.Swap(0) }
+
+// markEgress stamps the publication moment of a sampled quantum's results;
+// the socket pump consumes it when the coalesced frame reaches the kernel.
+// Unsampled quanta never stamp, so the pump records at the quantum sampling
+// rate with no bookkeeping of its own.
+func (ss *Session) markEgress(t time.Time) {
+	ss.egressNs.Store(uint64(t.UnixNano()))
+}
+
+// takeEgress consumes the egress stamp after a socket write; 0 means the
+// written words came from an unsampled quantum.
+func (ss *Session) takeEgress() uint64 { return ss.egressNs.Swap(0) }
+
+// observeWire files the egress→kernel delta for a completed socket write, if
+// the drained words carry a sampled-quantum stamp. Called by the result pump
+// (and by any local consumer standing in for one).
+func (ss *Session) observeWire() {
+	if st := ss.takeEgress(); st != 0 {
+		ss.observeStage(StageWire, time.Duration(time.Now().UnixNano()-int64(st)))
+	}
+}

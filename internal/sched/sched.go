@@ -100,6 +100,13 @@ type Config struct {
 	// serving the session, so a retry storm costs that tenant its own quantum
 	// time — other sessions keep their shares.
 	RetryBackoff time.Duration
+	// LatencySample is the stage-attribution sampling stride: each worker
+	// stamps one scheduling quantum in every LatencySample at its stage
+	// boundaries (queue wait, dispatch, compute, egress) and files the deltas
+	// into the per-session and per-tenant histograms behind /stats/latency
+	// and the wire Telemetry frames. Default 64 (matching the engine drain
+	// histogram's stride); negative disables attribution entirely.
+	LatencySample int
 }
 
 // Tracer is the track factory a scheduler records onto — the method shared
@@ -173,6 +180,13 @@ type SessionInfo struct {
 	OutQueued    int     `json:"out_queued"`
 	InClosed     bool    `json:"in_closed,omitempty"`
 	Err          string  `json:"err,omitempty"`
+	// Admitted is when Register accepted the session (RFC 3339 in JSON);
+	// AgeMs is the same instant as an age relative to the snapshot.
+	Admitted time.Time `json:"admitted"`
+	AgeMs    float64   `json:"age_ms"`
+	// Latency is the session's sampled stage breakdown (stage quantiles in
+	// nanoseconds); stages with zero samples render with samples=0.
+	Latency *StageBreakdown `json:"latency,omitempty"`
 }
 
 // Session is one tenant's live binding to the service: a queue pair, an
@@ -218,6 +232,15 @@ type Session struct {
 	dropped   atomic.Uint64
 	retries   atomic.Uint64
 	recovered atomic.Uint64
+
+	// Latency attribution (latency.go): the session's own stage histograms,
+	// its tenant's persistent aggregate, and the ingress/egress stamps the
+	// socket pumps exchange with the scheduler.
+	admitted  time.Time
+	lat       *stageSet
+	tlat      *stageSet
+	ingressNs atomic.Uint64
+	egressNs  atomic.Uint64
 
 	// Precomputed names so the serve loop never formats.
 	serveSpan  string
@@ -326,6 +349,15 @@ type Scheduler struct {
 	vtime    float64 // virtual time: pass of the most recently dispatched session
 	sessions map[uint64]*Session
 
+	// tenantLat maps tenant name → persistent stage-latency aggregate
+	// (latency.go); entries accumulate across session churn and unregister
+	// only at Close. Guarded by mu.
+	tenantLat map[string]*stageSet
+
+	// workerOps[i] counts worker i's scheduling-loop passes — the monotone
+	// progress counter WatchWorkers feeds the stall watchdog.
+	workerOps []atomic.Uint64
+
 	decisions  atomic.Uint64
 	swaps      atomic.Uint64
 	admitted   atomic.Uint64
@@ -386,11 +418,16 @@ func New(cfg Config) *Scheduler {
 	if cfg.QueueCap < 1 {
 		cfg.QueueCap = 1024
 	}
+	if cfg.LatencySample == 0 {
+		cfg.LatencySample = 64
+	}
 	s := &Scheduler{
-		cfg:      cfg,
-		stop:     make(chan struct{}),
-		kick:     make(chan struct{}, 1),
-		sessions: make(map[uint64]*Session),
+		cfg:       cfg,
+		stop:      make(chan struct{}),
+		kick:      make(chan struct{}, 1),
+		sessions:  make(map[uint64]*Session),
+		tenantLat: make(map[string]*stageSet),
+		workerOps: make([]atomic.Uint64, cfg.Engines),
 	}
 	if cfg.Trace != nil {
 		s.schedTrk = cfg.Trace.Track("sched")
@@ -499,6 +536,9 @@ func (s *Scheduler) Register(cfg SessionConfig) (*Session, error) {
 	}
 	ss.serveSpan = fmt.Sprintf("serve:%s#%d", ss.tenant, ss.id)
 	ss.metricName = fmt.Sprintf("session/%s#%d", ss.tenant, ss.id)
+	ss.admitted = time.Now()
+	ss.lat = &stageSet{}
+	ss.tlat = s.tenantStagesLocked(ss.tenant)
 	s.sessions[ss.id] = ss
 	s.admitted.Add(1)
 	if s.schedTrk != nil {
@@ -516,7 +556,7 @@ func (s *Scheduler) Register(cfg SessionConfig) (*Session, error) {
 		}
 		reg.RegisterLabeled(ss.metricName, labels, func() []cohort.Metric {
 			st := ss.Stats()
-			return []cohort.Metric{
+			ms := []cohort.Metric{
 				{Name: "blocks", Value: st.Blocks},
 				{Name: "words_in", Value: st.WordsIn},
 				{Name: "words_out", Value: st.WordsOut},
@@ -529,6 +569,7 @@ func (s *Scheduler) Register(cfg SessionConfig) (*Session, error) {
 				{Name: "in_queued", Value: uint64(ss.in.Len())},
 				{Name: "out_queued", Value: uint64(ss.out.Len())},
 			}
+			return append(ms, ss.lat.metrics()...)
 		})
 	}
 	s.mu.Unlock()
@@ -553,6 +594,7 @@ func (s *Scheduler) Kill(id uint64) bool {
 // Sessions snapshots every live session, sorted by id — the /sessions
 // payload.
 func (s *Scheduler) Sessions() []SessionInfo {
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]SessionInfo, 0, len(s.sessions))
@@ -565,7 +607,11 @@ func (s *Scheduler) Sessions() []SessionInfo {
 			Quanta: st.Quanta, Switches: st.Switches, DroppedWords: st.DroppedWords,
 			Retries: st.Retries, Recovered: st.Recovered,
 			InQueued: ss.in.Len(), OutQueued: ss.out.Len(), InClosed: ss.in.Closed(),
+			Admitted: ss.admitted,
+			AgeMs:    float64(now.Sub(ss.admitted)) / float64(time.Millisecond),
 		}
+		lat := ss.lat.breakdown()
+		info.Latency = &lat
 		if err := ss.Err(); err != nil {
 			info.Err = err.Error()
 		}
@@ -597,6 +643,15 @@ func (s *Scheduler) Close() {
 		}
 		if s.cfg.Registry != nil {
 			s.cfg.Registry.Unregister("sched")
+			s.mu.Lock()
+			tenants := make([]string, 0, len(s.tenantLat))
+			for t := range s.tenantLat {
+				tenants = append(tenants, t)
+			}
+			s.mu.Unlock()
+			for _, t := range tenants {
+				s.cfg.Registry.Unregister("latency/" + t)
+			}
 		}
 	})
 }
@@ -717,6 +772,11 @@ func (s *Scheduler) worker(i int) {
 	}
 	var lastID uint64
 	idle := 50 * time.Microsecond
+	// Stage-attribution sampling countdown: one quantum in every
+	// LatencySample served by this worker is stamped at its stage boundaries.
+	// The stride is per worker, so a multi-engine pool samples at the same
+	// aggregate rate per unit of work as a single engine.
+	latCnt := 0
 	// Reusable park timer: an idle worker re-arms this instead of allocating
 	// a fresh timer per pass (time.After), keeping the idle loop — and with
 	// it the whole serving steady state — allocation-free.
@@ -732,6 +792,10 @@ func (s *Scheduler) worker(i int) {
 		default:
 		}
 		ss := s.pick()
+		// Liveness: one loop pass = one unit of watchdog progress, counted on
+		// idle passes too so a quiet worker parked on its backoff timer never
+		// reads as wedged.
+		s.workerOps[i].Add(1)
 		if ss == nil {
 			park.Reset(idle)
 			select {
@@ -750,6 +814,16 @@ func (s *Scheduler) worker(i int) {
 			continue
 		}
 		idle = 50 * time.Microsecond
+		// tPick stamps the dispatch instant of a sampled quantum, taken before
+		// the modeled CSR-swap sleep so the sched stage charges the switch cost
+		// to the session that incurred it. Zero means unsampled.
+		var tPick time.Time
+		if n := s.cfg.LatencySample; n > 0 {
+			if latCnt++; latCnt >= n {
+				latCnt = 0
+				tPick = time.Now()
+			}
+		}
 		if ss.id != lastID {
 			ss.switches.Add(1)
 			s.swaps.Add(1)
@@ -765,8 +839,37 @@ func (s *Scheduler) worker(i int) {
 			}
 			lastID = ss.id
 		}
-		s.serveQuantum(trk, ss)
+		s.serveQuantum(trk, ss, tPick)
 	}
+}
+
+// WatchWorkers registers every engine worker with the stall watchdog: worker
+// i reports its scheduling-loop pass counter as progress and "any session is
+// runnable" as pending work, so a worker wedged inside an accelerator's
+// Process (or a stuck switch sleep) while work waits shows up in /healthz and
+// fires the stall callback, exactly like a wedged native Engine.
+func (s *Scheduler) WatchWorkers(dog *cohort.Watchdog) {
+	for i := 0; i < s.cfg.Engines; i++ {
+		ops := &s.workerOps[i]
+		dog.WatchProbe(fmt.Sprintf("sched/w%d", i), func() cohort.Probe {
+			return cohort.Probe{Progress: ops.Load(), Pending: s.hasReady()}
+		})
+	}
+}
+
+// hasReady reports whether the pool has work in flight: a schedulable
+// session, or one already dispatched to a worker (a wedged worker holds its
+// session in the serving state — that must still count as pending, or a
+// single-tenant wedge would read as an idle, healthy pool).
+func (s *Scheduler) hasReady() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ss := range s.sessions {
+		if ss.serving || ss.readyLocked() {
+			return true
+		}
+	}
+	return false
 }
 
 // serveQuantum runs one scheduling decision for a dispatched session: drain
@@ -774,7 +877,14 @@ func (s *Scheduler) worker(i int) {
 // publication for the run), process them through the session's accelerator,
 // publish the results, and handle lifecycle edges (kill, quota, end of
 // stream, accelerator failure).
-func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session) {
+//
+// A non-zero tPick marks the quantum as latency-sampled: the dispatch
+// instant closes the queue stage (against the ingress stamp the socket
+// reader left), the staging copy closes the sched stage, the block loop the
+// compute stage, and the publication leaves an egress stamp for the socket
+// pump to close the wire stage against. Unsampled quanta only clear the
+// ingress stamp — one atomic store, nothing timed, nothing allocated.
+func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session, tPick time.Time) {
 	if ss.killed.Load() {
 		ss.fail(ErrKilled)
 		s.kills.Add(1)
@@ -826,6 +936,16 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session) {
 	notify(ss.inKick)
 	ss.wordsIn.Add(uint64(n))
 
+	sampled := !tPick.IsZero() && !ss.legacy
+	var tCompute0 time.Time
+	if ing := ss.takeIngress(); sampled {
+		if ing != 0 {
+			ss.observeStage(StageQueue, time.Duration(tPick.UnixNano()-int64(ing)))
+		}
+		tCompute0 = time.Now()
+		ss.observeStage(StageSched, tCompute0.Sub(tPick))
+	}
+
 	if ss.legacy {
 		// Faithful pre-change handoff (SessionConfig.LegacyHandoff): one
 		// queue publication per block, so the socket pump races the engine
@@ -872,6 +992,11 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session) {
 		out = append(out, res...)
 		completed++
 	}
+	var tPub time.Time
+	if sampled {
+		tPub = time.Now()
+		ss.observeStage(StageCompute, tPub.Sub(tCompute0))
+	}
 	if len(out) > 0 {
 		if !s.pushOut(ss, out) {
 			ss.blocks.Add(uint64(completed))
@@ -879,6 +1004,11 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session) {
 			return
 		}
 		ss.wordsOut.Add(uint64(len(out)))
+		if sampled {
+			// Leave the egress stamp for the socket pump: it closes the wire
+			// stage when this quantum's coalesced frame reaches the kernel.
+			ss.markEgress(tPub)
+		}
 	}
 	ss.blocks.Add(uint64(completed))
 	if trk != nil {

@@ -207,8 +207,12 @@ func TestSessionChurnNoLeaks(t *testing.T) {
 	if n := len(s.Sessions()); n != 0 {
 		t.Errorf("%d sessions still live after churn", n)
 	}
-	if n := reg.Len(); n != 1 { // only the scheduler's own "sched" source
-		t.Errorf("registry holds %d sources after churn, want 1", n)
+	// Per-session sources die with their sessions; what remains is the
+	// scheduler's own "sched" source plus one persistent "latency/<tenant>"
+	// aggregate per tenant (those outlive session churn by design and
+	// unregister only at Close).
+	if n := reg.Len(); n != 1+tenants {
+		t.Errorf("registry holds %d sources after churn, want %d", n, 1+tenants)
 	}
 	s.Close()
 	if n := reg.Len(); n != 0 {

@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -61,6 +62,11 @@ type Server struct {
 	// cohortload can A/B the batched hot path against what it replaced;
 	// never set it in production.
 	LegacyWire bool
+	// Log, when non-nil, receives structured connection-lifecycle records:
+	// session admissions (tenant, accel, session id, remote address),
+	// admission rejections, and session completion with final counters. Nil
+	// disables lifecycle logging; the serve hot path never logs either way.
+	Log *slog.Logger
 
 	mu     sync.Mutex
 	closed bool
@@ -172,6 +178,10 @@ func (sv *Server) handle(c net.Conn) {
 	}
 	factory, ok := sv.catalog[req.Accel]
 	if !ok {
+		if sv.Log != nil {
+			sv.Log.Warn("session rejected", "tenant", req.Tenant, "accel", req.Accel,
+				"remote", c.RemoteAddr().String(), "code", wire.CodeUnknownAccel)
+		}
 		fw.JSON(wire.Error, wire.ErrorReply{
 			Message: fmt.Sprintf("unknown accelerator %q", req.Accel), Code: wire.CodeUnknownAccel,
 		})
@@ -195,8 +205,17 @@ func (sv *Server) handle(c net.Conn) {
 		case errors.Is(err, ErrClosed):
 			code = wire.CodeClosed
 		}
+		if sv.Log != nil {
+			sv.Log.Warn("session rejected", "tenant", req.Tenant, "accel", req.Accel,
+				"remote", c.RemoteAddr().String(), "code", code, "err", err)
+		}
 		fw.JSON(wire.Error, wire.ErrorReply{Message: err.Error(), Code: code})
 		return
+	}
+	if sv.Log != nil {
+		sv.Log.Info("session open", "session", ss.ID(), "tenant", ss.Tenant(),
+			"accel", req.Accel, "weight", cfgWeight(req.Weight), "timing", req.Timing,
+			"remote", c.RemoteAddr().String())
 	}
 	if err := fw.JSON(wire.OpenOK, wire.OpenReply{
 		Session: ss.ID(), InWords: acc.InWords(), OutWords: acc.OutWords(),
@@ -210,7 +229,7 @@ func (sv *Server) handle(c net.Conn) {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		sv.pumpResults(c, ss)
+		sv.pumpResults(c, ss, req.Timing)
 	}()
 
 	closeSent := sv.readStream(fr, ss)
@@ -219,6 +238,25 @@ func (sv *Server) handle(c net.Conn) {
 		ss.Kill()
 	}
 	<-writerDone
+	if sv.Log != nil {
+		st := ss.Stats()
+		args := []any{"session", ss.ID(), "tenant", ss.Tenant(),
+			"blocks", st.Blocks, "words_in", st.WordsIn, "words_out", st.WordsOut,
+			"remote", c.RemoteAddr().String()}
+		if serr := ss.Err(); serr != nil {
+			sv.Log.Warn("session closed", append(args, "err", serr)...)
+		} else {
+			sv.Log.Info("session closed", args...)
+		}
+	}
+}
+
+// cfgWeight mirrors Register's weight defaulting for log records.
+func cfgWeight(w int) int {
+	if w == 0 {
+		return 1
+	}
+	return w
 }
 
 // readStream feeds inbound Data frames into the session input queue until
@@ -283,6 +321,9 @@ func (sv *Server) pushWords(ss *Session, ws []cohort.Word, wait *time.Timer) boo
 		n := ss.In().TryPushSlice(ws)
 		ws = ws[n:]
 		if n > 0 {
+			// Latency attribution: stamp the head of the waiting batch (first
+			// push since the last dispatch wins; one atomic load otherwise).
+			ss.markIngress()
 			sv.sch.kickWorkers()
 			continue
 		}
@@ -331,7 +372,7 @@ func (sv *Server) pushWords(ss *Session, ws []cohort.Word, wait *time.Timer) boo
 // directly from the queue's two ring segments (wire.Writer.WordsN): batching
 // the PR 1 way, applied to the socket. LegacyWire keeps the old
 // pop-into-buffer, copy-framed path for A/B benchmarks.
-func (sv *Server) pumpResults(c net.Conn, ss *Session) {
+func (sv *Server) pumpResults(c net.Conn, ss *Session, timing bool) {
 	fw := wire.NewWriter(c)
 	idle := 50 * time.Microsecond // LegacyWire backoff-poll interval
 	wait := newStoppedTimer()
@@ -340,6 +381,14 @@ func (sv *Server) pumpResults(c net.Conn, ss *Session) {
 	if sv.LegacyWire {
 		buf = make([]cohort.Word, 4096)
 	}
+	// Telemetry cadence for opted-in sessions: a frame goes out only when new
+	// stage samples have landed and at least telemetryEvery has passed since
+	// the last one — a trickle, not a stream. Sessions that did not opt in
+	// never reach this code with timing set, so the zero-alloc steady state
+	// (the JSON marshal here allocates) is untouched for them.
+	const telemetryEvery = 250 * time.Millisecond
+	var lastTelem time.Time
+	var lastSamples uint64
 	for {
 		var n int
 		var werr error
@@ -374,6 +423,19 @@ func (sv *Server) pumpResults(c net.Conn, ss *Session) {
 				// Client stopped reading; results are undeliverable.
 				ss.Kill()
 				return
+			}
+			// The frame reached the kernel: close the wire stage for a sampled
+			// quantum whose results it carried (no-op when unstamped).
+			ss.observeWire()
+			if timing {
+				if sm := ss.LatencySamples(); sm != lastSamples && time.Since(lastTelem) >= telemetryEvery {
+					t := ss.Telemetry()
+					if fw.JSON(wire.Telemetry, t) != nil {
+						ss.Kill()
+						return
+					}
+					lastSamples, lastTelem = sm, time.Now()
+				}
 			}
 			continue
 		}
@@ -424,6 +486,10 @@ func (sv *Server) pumpResults(c net.Conn, ss *Session) {
 	if serr != nil {
 		done.Err = serr.Error()
 		done.Code = retireCode(serr)
+	}
+	if timing {
+		t := ss.Telemetry()
+		done.Timing = &t
 	}
 	fw.JSON(wire.Done, done)
 	// Closing here (not in handle) makes the final frame reliably the last

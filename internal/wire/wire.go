@@ -62,6 +62,12 @@ const (
 	Data      Type = 4 // either direction: packed little-endian words
 	CloseSend Type = 5 // client → server: end of the client's stream
 	Done      Type = 6 // server → client: JSON DoneReply, final frame
+	// Telemetry is a server → client JSON TelemetryReply carrying the
+	// session's server-side stage-latency breakdown. Sent mid-stream on a
+	// sampling basis, and only when the Open asked for it
+	// (OpenRequest.Timing) — a client that never opts in never sees the
+	// frame type, so old clients stay compatible.
+	Telemetry Type = 7
 )
 
 func (t Type) String() string {
@@ -78,6 +84,8 @@ func (t Type) String() string {
 		return "close-send"
 	case Done:
 		return "done"
+	case Telemetry:
+		return "telemetry"
 	}
 	return fmt.Sprintf("type(%d)", byte(t))
 }
@@ -111,6 +119,10 @@ type OpenRequest struct {
 	Weight   int    `json:"weight,omitempty"`
 	Quota    uint64 `json:"quota,omitempty"`
 	QueueCap int    `json:"queue_cap,omitempty"`
+	// Timing asks the server to stream Telemetry frames with the session's
+	// server-side stage-latency breakdown and to attach the final breakdown
+	// to Done (DoneReply.Timing). Servers predating the field ignore it.
+	Timing bool `json:"timing,omitempty"`
 }
 
 // OpenReply acknowledges admission and tells the client the accelerator's
@@ -164,6 +176,42 @@ type DoneReply struct {
 	DroppedWords uint64 `json:"dropped_words,omitempty"`
 	Err          string `json:"err,omitempty"`
 	Code         string `json:"code,omitempty"` // one of the Code* constants
+	// Timing is the session's whole-life server-side stage breakdown,
+	// present only when the Open requested it (OpenRequest.Timing).
+	Timing *TelemetryReply `json:"timing,omitempty"`
+}
+
+// StageTiming is one pipeline stage's latency summary inside a
+// TelemetryReply: sample count, exact mean, and log2-interpolated quantiles,
+// in nanoseconds. Samples are whole scheduler quanta, taken 1-in-N.
+type StageTiming struct {
+	Samples uint64  `json:"samples"`
+	MeanNs  float64 `json:"mean_ns"`
+	P50Ns   float64 `json:"p50_ns"`
+	P99Ns   float64 `json:"p99_ns"`
+}
+
+// TelemetryReply is the server-side latency attribution document for one
+// session: where a served block's time went once it reached the daemon —
+// input-queue wait, scheduler dispatch (incl. the modeled CSR swap), engine
+// compute, and output-queue + socket egress. Carried mid-stream by Telemetry
+// frames (cumulative since the session opened; each frame supersedes the
+// last) and attached finally to DoneReply.Timing. The client's end-to-end
+// clock minus ServerNs approximates network + client-side time.
+type TelemetryReply struct {
+	Session uint64      `json:"session"`
+	Queue   StageTiming `json:"queue"`
+	Sched   StageTiming `json:"sched"`
+	Compute StageTiming `json:"compute"`
+	Wire    StageTiming `json:"wire"`
+}
+
+// ServerMeanNs sums the per-stage means: the expected server-resident time
+// of one sampled quantum, end to end. By construction it cannot exceed the
+// client-measured end-to-end latency of the same blocks (the stages are
+// disjoint intervals inside that window).
+func (t *TelemetryReply) ServerMeanNs() float64 {
+	return t.Queue.MeanNs + t.Sched.MeanNs + t.Compute.MeanNs + t.Wire.MeanNs
 }
 
 // Writer frames outbound messages. Not safe for concurrent use; give each
@@ -327,7 +375,7 @@ func (fr *Reader) readHeader() (Type, int, error) {
 	}
 	t := Type(fr.hdr[0])
 	n := int(binary.BigEndian.Uint32(fr.hdr[1:]))
-	if t < Open || t > Done {
+	if t < Open || t > Telemetry {
 		return 0, 0, fmt.Errorf("wire: invalid frame type %d", fr.hdr[0])
 	}
 	if n > MaxFrame {

@@ -3,11 +3,13 @@ package cohort
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"reflect"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cohort/internal/trace"
 )
@@ -391,6 +393,59 @@ func snakeCase(s string) string {
 // [2^(i-1), 2^i) ns (bucket 0 counts zero-duration samples).
 type LatencyHistogram struct {
 	Buckets [histoBuckets]uint64
+}
+
+// LatencyRecorder is the concurrent accumulator behind a LatencyHistogram: a
+// fixed array of atomic log2 buckets plus an exact running sum, safe for any
+// number of writers with no locks and no allocation per sample. The engine's
+// drain histogram and the serving scheduler's per-stage attribution both
+// record through it; Snapshot hands the counts to LatencyHistogram for
+// quantile math. The zero value is ready to use.
+type LatencyRecorder struct {
+	buckets [histoBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe files one latency sample in nanoseconds.
+func (r *LatencyRecorder) Observe(ns uint64) {
+	i := bits.Len64(ns)
+	if i >= histoBuckets {
+		i = histoBuckets - 1
+	}
+	r.buckets[i].Add(1)
+	r.sum.Add(ns)
+}
+
+// Snapshot copies the bucket counts into a plain LatencyHistogram.
+func (r *LatencyRecorder) Snapshot() LatencyHistogram {
+	var h LatencyHistogram
+	for i := range r.buckets {
+		h.Buckets[i] = r.buckets[i].Load()
+	}
+	return h
+}
+
+// Samples returns the total number of recorded samples.
+func (r *LatencyRecorder) Samples() uint64 {
+	var n uint64
+	for i := range r.buckets {
+		n += r.buckets[i].Load()
+	}
+	return n
+}
+
+// SumNs returns the exact sum of every recorded sample in nanoseconds (the
+// histogram buckets only bound each sample to a factor of 2; the sum is kept
+// exactly so means don't inherit that error).
+func (r *LatencyRecorder) SumNs() uint64 { return r.sum.Load() }
+
+// Reset zeroes the recorder. Not atomic with respect to concurrent Observe
+// calls; quiesce writers first, as with engine ResetStats.
+func (r *LatencyRecorder) Reset() {
+	for i := range r.buckets {
+		r.buckets[i].Store(0)
+	}
+	r.sum.Store(0)
 }
 
 // Samples returns the total number of recorded samples.

@@ -133,10 +133,31 @@ func TestWritePrometheusGolden(t *testing.T) {
 	reg.Register("bravo", func() []Metric {
 		return []Metric{{Name: "pushes", Value: 1}}
 	})
+	// A tenant-labeled stage-latency source, shaped exactly like the serving
+	// scheduler's persistent "latency/<tenant>" aggregates: stage histograms
+	// recorded through LatencyRecorder and rendered as summary families.
+	reg.RegisterLabeled("latency/acme", []Label{{Key: "tenant", Value: "acme"}}, func() []Metric {
+		var q, c LatencyRecorder
+		for _, ns := range []uint64{900, 1100, 1300, 4200} {
+			q.Observe(ns)
+		}
+		c.Observe(70000)
+		c.Observe(90000)
+		qs, cs := q.Snapshot(), c.Snapshot()
+		return []Metric{
+			{Name: "stage_queue_ns", Histo: &qs},
+			{Name: "stage_compute_ns", Histo: &cs},
+		}
+	})
 
 	var got bytes.Buffer
 	if err := reg.WritePrometheus(&got); err != nil {
 		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile("testdata/registry.prom", got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 	want, err := os.ReadFile("testdata/registry.prom")
 	if err != nil {

@@ -25,6 +25,10 @@ import (
 // accelerator error is reported through EngineHealth.Err rather than as a
 // stall (its flight dump already fired when it parked).
 //
+// Components that are not Engines — scheduler workers, socket pumps — join
+// the same detection through WatchProbe, supplying a monotone progress
+// counter and a pending-work predicate of their own.
+//
 // All methods are safe for concurrent use.
 type Watchdog struct {
 	window  time.Duration
@@ -42,24 +46,25 @@ type Watchdog struct {
 	done     chan struct{}
 }
 
-// watchEntry is one engine's progress bookkeeping.
-type watchEntry struct {
-	e          *Engine
-	inWords    uint64 // block size, cached from the accelerator at Watch
-	lastIn     uint64
-	lastOut    uint64
-	lastBlocks uint64
-	lastMove   time.Time
-	stalled    bool
+// Probe is one generic liveness sample, returned by a WatchProbe callback.
+// Progress is any monotone work counter (a component whose counter stops
+// advancing while Pending is true for a whole window is declared stalled);
+// Err marks the component parked on a terminal error.
+type Probe struct {
+	Progress  uint64
+	Pending   bool
+	Err       error
+	Recovered uint64 // optional: blocks recovered after retries (flaky but alive)
 }
 
-// pending reports whether the engine has work it ought to be making progress
-// on: words queued in its input fifo, or words already drained into its
-// private batch buffer but not yet processed (WordsIn counts words handed to
-// processing; Blocks counts blocks completed — an engine wedged inside
-// Process holds the difference).
-func (en *watchEntry) pending(s EngineStats) bool {
-	return en.e.in.Len() > 0 || s.WordsIn > s.Blocks*en.inWords
+// watchEntry is one watched component's progress bookkeeping. Engines and
+// generic probes share the same entry: Watch wraps the engine's counters into
+// a probe function.
+type watchEntry struct {
+	probe        func() Probe
+	lastProgress uint64
+	lastMove     time.Time
+	stalled      bool
 }
 
 // StallEvent describes one detected stall.
@@ -124,15 +129,35 @@ func NewWatchdog(window time.Duration, opts ...WatchdogOption) *Watchdog {
 }
 
 // Watch adds (or replaces) an engine under the given name. The engine starts
-// in the healthy state with its progress clock at now.
+// in the healthy state with its progress clock at now. Pending work is words
+// queued in the engine's input fifo or words already drained into its private
+// batch buffer but not yet processed (WordsIn counts words handed to
+// processing; Blocks counts blocks completed — an engine wedged inside
+// Process holds the difference).
 func (w *Watchdog) Watch(name string, e *Engine) {
-	s := e.StatsDetail()
+	inWords := uint64(e.acc.InWords())
+	w.WatchProbe(name, func() Probe {
+		s := e.StatsDetail()
+		return Probe{
+			// Monotone counters: any progress strictly increases the sum.
+			Progress:  s.WordsIn + s.WordsOut + s.Blocks,
+			Pending:   e.in.Len() > 0 || s.WordsIn > s.Blocks*inWords,
+			Err:       e.Err(),
+			Recovered: s.Recovered,
+		}
+	})
+}
+
+// WatchProbe adds (or replaces) a generic component under the given name —
+// how non-Engine components (scheduler workers, pumps) join the same stall
+// detection and /healthz reporting as engines. fn is called on the watchdog
+// goroutine every sampling period and must be safe to call at any time.
+func (w *Watchdog) WatchProbe(name string, fn func() Probe) {
+	p := fn()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.watched[name] = &watchEntry{
-		e: e, inWords: uint64(e.acc.InWords()),
-		lastIn: s.WordsIn, lastOut: s.WordsOut, lastBlocks: s.Blocks,
-		lastMove: time.Now(),
+		probe: fn, lastProgress: p.Progress, lastMove: time.Now(),
 	}
 }
 
@@ -160,12 +185,13 @@ func (w *Watchdog) Health() []EngineHealth {
 	defer w.mu.Unlock()
 	out := make([]EngineHealth, 0, len(w.watched))
 	for name, en := range w.watched {
+		p := en.probe()
 		out = append(out, EngineHealth{
 			Engine:    name,
-			Err:       en.e.Err(),
+			Err:       p.Err,
 			Stalled:   en.stalled,
 			Idle:      now.Sub(en.lastMove),
-			Recovered: en.e.recovered.Load(),
+			Recovered: p.Recovered,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Engine < out[j].Engine })
@@ -193,17 +219,17 @@ func (w *Watchdog) scan(now time.Time) {
 	var fired []StallEvent
 	w.mu.Lock()
 	for name, en := range w.watched {
-		s := en.e.StatsDetail()
-		if s.WordsIn != en.lastIn || s.WordsOut != en.lastOut || s.Blocks != en.lastBlocks {
-			en.lastIn, en.lastOut, en.lastBlocks = s.WordsIn, s.WordsOut, s.Blocks
+		p := en.probe()
+		if p.Progress != en.lastProgress {
+			en.lastProgress = p.Progress
 			en.lastMove = now
 			en.stalled = false
 			continue
 		}
-		if en.e.Err() != nil {
+		if p.Err != nil {
 			continue // parked on a terminal error: reported via Health, not as a stall
 		}
-		if en.stalled || now.Sub(en.lastMove) < w.window || !en.pending(s) {
+		if en.stalled || now.Sub(en.lastMove) < w.window || !p.Pending {
 			continue
 		}
 		en.stalled = true
