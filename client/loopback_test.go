@@ -4,10 +4,12 @@ import (
 	"io"
 	"net"
 	"testing"
+	"time"
 
 	"cohort"
 	"cohort/client"
 	"cohort/internal/sched"
+	"cohort/internal/telem"
 )
 
 // echoAcc is a block pass-through whose result slice reuses a fixed backing
@@ -27,10 +29,11 @@ func (e *echoAcc) Process(in []cohort.Word) ([]cohort.Word, error) {
 }
 
 // startLoopback brings up a real scheduler and TCP server on 127.0.0.1 with
-// an "echo" catalog entry of the given block size.
-func startLoopback(tb testing.TB, block int, legacyWire bool) (addr string, stop func()) {
+// an "echo" catalog entry of the given block size. A non-nil registry wires
+// the scheduler's metric sources, as cohortd does.
+func startLoopback(tb testing.TB, block int, legacyWire bool, reg *cohort.Registry) (addr string, stop func()) {
 	tb.Helper()
-	s := sched.New(sched.Config{Engines: 1, Quantum: 64, QueueCap: 16384})
+	s := sched.New(sched.Config{Engines: 1, Quantum: 64, QueueCap: 16384, Registry: reg})
 	catalog := sched.Catalog{
 		"echo": func() (cohort.Accelerator, error) { return newEcho(block), nil },
 	}
@@ -59,8 +62,18 @@ func TestServeSteadyStateAllocs(t *testing.T) {
 		t.Skip("sync.Pool drops Puts at random under the race detector; zero-alloc steady state holds only in normal builds")
 	}
 	const block = 64
-	addr, stop := startLoopback(t, block, false)
+	// Run the guard under production observability: the scheduler publishes
+	// its sources into a registry and the windowed telemetry sampler ticks
+	// against it concurrently. The sampler's own per-tick allocations happen
+	// on its goroutine a handful of times during the measurement — far fewer
+	// than the run count — so the per-run average still pins the serving hot
+	// path itself at zero.
+	reg := cohort.NewRegistry()
+	addr, stop := startLoopback(t, block, false, reg)
 	defer stop()
+	sampler := telem.New(telem.Config{Registry: reg, Tick: 100 * time.Millisecond})
+	sampler.Start()
+	defer sampler.Stop()
 
 	c, err := client.Connect(addr, client.Options{Tenant: "allocs", Accel: "echo"})
 	if err != nil {
@@ -99,7 +112,7 @@ func TestServeSteadyStateAllocs(t *testing.T) {
 // over across calls, in order, with no words lost.
 func TestRecvIntoCarry(t *testing.T) {
 	const block = 8
-	addr, stop := startLoopback(t, block, false)
+	addr, stop := startLoopback(t, block, false, nil)
 	defer stop()
 	c, err := client.Connect(addr, client.Options{Tenant: "carry", Accel: "echo"})
 	if err != nil {
@@ -147,7 +160,7 @@ func TestRecvIntoCarry(t *testing.T) {
 // protocol against the batched server path.
 func TestLegacyCodecRoundTrip(t *testing.T) {
 	const block = 16
-	addr, stop := startLoopback(t, block, false)
+	addr, stop := startLoopback(t, block, false, nil)
 	defer stop()
 	c, err := client.Connect(addr, client.Options{Tenant: "legacy", Accel: "echo", LegacyCodec: true})
 	if err != nil {
@@ -179,7 +192,7 @@ func TestLegacyCodecRoundTrip(t *testing.T) {
 // sendBatch words per frame — the A/B harness behind the README's serving
 // table. CI logs these next to the wire microbenches.
 func benchLoopback(b *testing.B, legacy bool, block, sendBatch int) {
-	addr, stop := startLoopback(b, block, legacy)
+	addr, stop := startLoopback(b, block, legacy, nil)
 	defer stop()
 	c, err := client.Connect(addr, client.Options{Tenant: "bench", Accel: "echo", LegacyCodec: legacy})
 	if err != nil {

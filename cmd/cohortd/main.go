@@ -13,6 +13,17 @@
 // breakdown, /trace with the scheduler's flight-recorder ring, and
 // /debug/pprof.
 //
+// Windowed telemetry and SLOs: a background sampler (internal/telem) ticks
+// every -slo-tick, derives per-tenant rolling rates and stage quantiles over
+// -slo-short and -slo-long windows (served on /stats/windows and exported as
+// cohort_rate_* gauges), and evaluates the -slo objectives with multi-window
+// burn-rate logic on /stats/slo. -slo accepts a JSON array literal or a file
+// path: [{"tenant":"*","stage":"compute","p99_ms":2,"max_errors_per_s":5}].
+// A breach flips /healthz to degraded with the reason; every breach,
+// recovery, session kill, terminal fault, watchdog stall/recovery and
+// admission rejection lands in the structured event ring on /events
+// (?since=<cursor>&max=<n>, capacity -events) and in the process log.
+//
 // Latency attribution: -latency-sample N stamps one scheduling quantum in
 // every N at its stage boundaries (queue wait, dispatch, compute, wire
 // egress); clients that opt in (client.Options.ServerTiming) additionally
@@ -50,7 +61,17 @@ import (
 	"cohort/client"
 	"cohort/internal/obsrv"
 	"cohort/internal/sched"
+	"cohort/internal/telem"
 )
+
+// telemConfig carries the telemetry-plane flags into run.
+type telemConfig struct {
+	slos      []telem.SLO
+	tick      time.Duration
+	short     time.Duration
+	long      time.Duration
+	eventsCap int
+}
 
 func main() {
 	var (
@@ -64,7 +85,12 @@ func main() {
 		retryBackoff  = flag.Duration("retry-backoff", 100*time.Microsecond, "pause before the first retry, doubling per attempt")
 		latencySample = flag.Int("latency-sample", 64, "stage-latency attribution: stamp 1 in N scheduling quanta (-1 disables)")
 		stallWindow   = flag.Duration("stall-window", 2*time.Second, "declare an engine worker stalled after this long without progress while work waits")
-		httpAddr      = flag.String("http", "", "serve /metrics, /healthz, /sessions, /stats/latency, /trace and /debug/pprof on this address (e.g. :9122)")
+		httpAddr      = flag.String("http", "", "serve /metrics, /healthz, /sessions, /stats/*, /events, /trace and /debug/pprof on this address (e.g. :9122)")
+		slo           = flag.String("slo", "", "SLO specs: JSON array literal or file path, e.g. [{\"tenant\":\"*\",\"stage\":\"compute\",\"p99_ms\":2}]")
+		sloTick       = flag.Duration("slo-tick", time.Second, "telemetry sampling period")
+		sloShort      = flag.Duration("slo-short", 10*time.Second, "short observation window for rates, quantiles and burn rates")
+		sloLong       = flag.Duration("slo-long", 5*time.Minute, "long observation window for burn-rate confirmation")
+		eventsCap     = flag.Int("events", 1024, "structured event ring capacity (/events)")
 		noDelay       = flag.Bool("nodelay", true, "set TCP_NODELAY on accepted connections (frames flush without Nagle delay)")
 		sockBuf       = flag.Int("sockbuf", 0, "socket read/write buffer size in bytes for accepted connections (0: kernel default)")
 		logLevel      = flag.String("log-level", "info", "log floor: debug, info, warn or error")
@@ -79,6 +105,16 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
+	slos, err := telem.ParseSLOs(*slo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cohortd: %v\n", err)
+		os.Exit(2)
+	}
+	tc := telemConfig{
+		slos: slos, tick: *sloTick, short: *sloShort, long: *sloLong,
+		eventsCap: *eventsCap,
+	}
+
 	cfg := sched.Config{
 		Engines: *engines, Quantum: *quantum, SwitchCost: *switchCost,
 		MaxSessions: *maxSessions, QueueCap: *queueCap,
@@ -92,17 +128,25 @@ func main() {
 		}
 		return
 	}
-	if err := run(cfg, logger, *listen, *httpAddr, *noDelay, *sockBuf, *stallWindow); err != nil {
+	if err := run(cfg, tc, logger, *listen, *httpAddr, *noDelay, *sockBuf, *stallWindow); err != nil {
 		logger.Error("cohortd exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg sched.Config, logger *slog.Logger, listen, httpAddr string, noDelay bool, sockBuf int, stallWindow time.Duration) error {
+func run(cfg sched.Config, tc telemConfig, logger *slog.Logger, listen, httpAddr string, noDelay bool, sockBuf int, stallWindow time.Duration) error {
 	reg := cohort.NewRegistry()
 	flight := cohort.NewFlightRecorder(4096)
 	cfg.Registry = reg
 	cfg.Trace = flight
+	cohort.RegisterBuildInfo(reg, "build")
+
+	// Structured event plane: the scheduler's state transitions (kills,
+	// terminal faults, rejections), the watchdog's stall edges and the SLO
+	// engine's breach/recovery flips all land in one ring, mirrored to the
+	// process log and served on /events.
+	events := telem.NewLog(tc.eventsCap, logger)
+	cfg.Events = events
 
 	s := sched.New(cfg)
 	sv := sched.NewServer(s, nil)
@@ -124,10 +168,24 @@ func run(cfg sched.Config, logger *slog.Logger, listen, httpAddr string, noDelay
 		cohort.WithStallDump(flight),
 		cohort.WithStallCallback(func(ev cohort.StallEvent) {
 			logger.Warn("worker stalled", "worker", ev.Engine, "idle", ev.Idle)
+			events.Emit(telem.EventWatchdogStall, "", 0,
+				fmt.Sprintf("%s stalled for %v", ev.Engine, ev.Idle))
+		}),
+		cohort.WithRecoveryCallback(func(ev cohort.StallEvent) {
+			events.Emit(telem.EventWatchdogRecover, "", 0,
+				fmt.Sprintf("%s recovered after %v", ev.Engine, ev.Idle))
 		}),
 	)
 	s.WatchWorkers(dog)
 	cohort.RegisterWatchdog(reg, "watchdog", dog)
+
+	// Windowed telemetry sampler: rolling per-tenant rates and stage
+	// quantiles, multi-window SLO evaluation, cohort_rate_* gauges.
+	sampler := telem.New(telem.Config{
+		Registry: reg, Tick: tc.tick, Short: tc.short, Long: tc.long,
+		SLOs: tc.slos, Events: events,
+	})
+	sampler.Start()
 
 	var web *obsrv.Server
 	if httpAddr != "" {
@@ -136,6 +194,9 @@ func run(cfg sched.Config, logger *slog.Logger, listen, httpAddr string, noDelay
 			TraceJSON:    func(w io.Writer) error { return flight.WriteChrome(w, "cohortd") },
 			Sessions:     func() any { return s.Sessions() },
 			LatencyStats: func() any { return s.LatencyStats() },
+			SLOStats:     func() any { return sampler.Status() },
+			WindowStats:  func() any { return sampler.Windows() },
+			Events:       func(since uint64, max int) any { return events.PageSince(since, max) },
 			// /healthz: the serving plane is degraded-but-alive (200,
 			// "degraded") once it has contained terminal faults or kills; a
 			// live session parked on an error shows as its own degraded row;
@@ -148,6 +209,11 @@ func run(cfg sched.Config, logger *slog.Logger, listen, httpAddr string, noDelay
 					hs[0].Degraded = fmt.Sprintf("%d terminal faults, %d kills contained",
 						st.TerminalFaults, st.Kills)
 				}
+				// SLO verdict: a breaching objective degrades the whole
+				// document (200 "degraded") with the breach reason — the
+				// daemon still serves, but operators see which tenant's
+				// objective is burning and why.
+				hs = append(hs, obsrv.Health{Name: "slo", Degraded: sampler.Degraded()})
 				for _, h := range dog.Health() {
 					row := obsrv.Health{Name: h.Engine, Stalled: h.Stalled, Idle: h.Idle}
 					if h.Err != nil {
@@ -167,13 +233,14 @@ func run(cfg sched.Config, logger *slog.Logger, listen, httpAddr string, noDelay
 			},
 		})
 		if err := web.Serve(httpAddr); err != nil {
+			sampler.Stop()
 			dog.Stop()
 			sv.Close()
 			s.Close()
 			return err
 		}
 		logger.Info("observability plane up", "addr", web.Addr(),
-			"endpoints", "/metrics /healthz /sessions /stats/latency /trace /debug/pprof")
+			"endpoints", "/metrics /healthz /sessions /stats/latency /stats/slo /stats/windows /events /trace /debug/pprof")
 	}
 
 	obsrv.AwaitShutdown(
@@ -181,6 +248,7 @@ func run(cfg sched.Config, logger *slog.Logger, listen, httpAddr string, noDelay
 			cfg.Engines, ln.Addr(), cfg.Quantum),
 		func() { sv.Close() },
 		func() { s.Close() },
+		func() { sampler.Stop() },
 		func() { dog.Stop() },
 		func() {
 			if web != nil {

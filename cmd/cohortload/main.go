@@ -63,6 +63,7 @@ func main() {
 	compare := flag.Bool("compare", false, "run legacy then batched against spawned daemons and report the speedup")
 	out := flag.String("o", "BENCH_serve.json", "JSON report path (empty: skip)")
 	latOut := flag.String("latency-report", "BENCH_latency.json", "decomposed server-stage latency report path (empty: skip; batched runs only)")
+	sloP99 := flag.Duration("slo-p99", 0, "SLO verdict mode: fail (exit 1) if the final run's end-to-end block p99 exceeds this (0: off)")
 	flag.Parse()
 
 	if cfg.batch%cfg.block != 0 {
@@ -108,6 +109,18 @@ func main() {
 		fmt.Printf("\nspeedup: %.2fx goodput (batched %.1f MiB/s over legacy %.1f MiB/s)\n",
 			report.SpeedupGoodput, runs[1].GoodputMiBPerS, runs[0].GoodputMiBPerS)
 	}
+	if *sloP99 > 0 {
+		// Verdict mode: judge the final run (the batched one under -compare)
+		// against the block-p99 objective, record the outcome in the report,
+		// and exit non-zero on breach so CI can gate on it.
+		final := runs[len(runs)-1]
+		report.SLO = &sloVerdict{
+			TargetP99Us:   round2(float64(*sloP99) / 1e3),
+			ObservedP99Us: final.BlockP99us,
+			Mode:          final.Mode,
+			Pass:          final.BlockP99us <= float64(*sloP99)/1e3,
+		}
+	}
 	if *out != "" {
 		writeJSON(*out, report)
 		fmt.Printf("report: %s\n", *out)
@@ -130,6 +143,17 @@ func main() {
 			})
 			fmt.Printf("latency report: %s\n", *latOut)
 			break
+		}
+	}
+	if report.SLO != nil {
+		v := report.SLO
+		if v.Pass {
+			fmt.Printf("slo verdict: PASS (%s block p99 %.1fµs <= target %.1fµs)\n",
+				v.Mode, v.ObservedP99Us, v.TargetP99Us)
+		} else {
+			fmt.Printf("slo verdict: FAIL (%s block p99 %.1fµs > target %.1fµs)\n",
+				v.Mode, v.ObservedP99Us, v.TargetP99Us)
+			os.Exit(1)
 		}
 	}
 }
@@ -265,6 +289,18 @@ type benchReport struct {
 	Config         reportConfig `json:"config"`
 	Runs           []runResult  `json:"runs"`
 	SpeedupGoodput float64      `json:"speedup_goodput,omitempty"`
+	SLO            *sloVerdict  `json:"slo,omitempty"`
+}
+
+// sloVerdict records the -slo-p99 judgment on the final run: the open-loop
+// end-to-end block p99 (which charges queueing from the *scheduled* arrival
+// time, so a saturated server fails honestly) against the target. A FAIL also
+// exits the process with status 1.
+type sloVerdict struct {
+	Mode          string  `json:"mode"`
+	TargetP99Us   float64 `json:"target_p99_us"`
+	ObservedP99Us float64 `json:"observed_p99_us"`
+	Pass          bool    `json:"pass"`
 }
 
 // echoAccel is the load-generator geometry knob: a block pass-through of

@@ -11,7 +11,14 @@
 //	/trace          on-demand Chrome trace JSON dump (open in Perfetto)
 //	/sessions       JSON snapshot of live serving sessions (cohortd)
 //	/stats/latency  JSON per-tenant serving-stage latency breakdown (cohortd)
+//	/stats/slo      JSON per-tenant SLO evaluation (telem sampler, cohortd)
+//	/stats/windows  JSON windowed per-tenant rates and quantiles (cohortd)
+//	/events         JSON structured event ring, ?since=<seq>&max=<n> paging
 //	/debug/pprof/*  standard Go profiling (CPU, heap, goroutine, ...)
+//
+// Every JSON endpoint sets Content-Type: application/json and
+// Cache-Control: no-store — the payloads are live snapshots that must never
+// be served stale by an intermediary.
 //
 // The package deliberately depends only on the standard library and is
 // decoupled from the runtime through the functional fields of Options: the
@@ -29,7 +36,9 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -68,12 +77,32 @@ type Options struct {
 	// for /stats/latency; the returned value is marshaled as indented JSON
 	// (e.g. []sched.TenantLatency).
 	LatencyStats func() any
+	// SLOStats snapshots the telemetry sampler's SLO evaluation for
+	// /stats/slo (e.g. telem.SLODoc).
+	SLOStats func() any
+	// WindowStats snapshots the windowed per-tenant rates and quantiles for
+	// /stats/windows (e.g. telem.WindowsDoc).
+	WindowStats func() any
+	// Events pages the structured event ring for /events: events with
+	// sequence numbers after since, at most max (e.g. telem.Log.PageSince).
+	Events func(since uint64, max int) any
 }
+
+// eventsDefaultMax bounds an /events page when the request has no max
+// parameter, keeping accidental full-ring dumps off the wire.
+const eventsDefaultMax = 256
 
 // Server serves the observability endpoints over HTTP.
 type Server struct {
 	opts Options
 	mux  *http.ServeMux
+
+	// Scrape self-metrics, appended to every /metrics response: how many
+	// scrapes this server has answered and how long rendering the last one
+	// took — the meta-signals a Prometheus operator alerts on when the
+	// telemetry plane itself misbehaves.
+	scrapes      atomic.Uint64
+	lastScrapeNs atomic.Uint64
 
 	mu  sync.Mutex
 	ln  net.Listener
@@ -90,6 +119,9 @@ func New(opts Options) *Server {
 	mux.HandleFunc("/trace", s.trace)
 	mux.HandleFunc("/sessions", s.sessions)
 	mux.HandleFunc("/stats/latency", s.latency)
+	mux.HandleFunc("/stats/slo", s.slo)
+	mux.HandleFunc("/stats/windows", s.windows)
+	mux.HandleFunc("/events", s.events)
 	mux.HandleFunc("/", s.index)
 	// net/http/pprof registers on DefaultServeMux at import; wire the
 	// handlers explicitly so this mux works standalone.
@@ -149,10 +181,32 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	t0 := time.Now()
 	if err := s.opts.MetricsText(w); err != nil {
 		// Headers are gone; best effort is to note the failure inline.
 		fmt.Fprintf(w, "# metrics error: %v\n", err)
 	}
+	// Scrape self-metrics ride the same exposition: total scrapes answered
+	// (this one included) and the render cost of the previous scrape — the
+	// current one cannot time its own trailer, so each scrape reports its
+	// predecessor's duration.
+	n := s.scrapes.Add(1)
+	fmt.Fprintf(w, "# HELP cohort_scrape_total Scrapes of this /metrics endpoint.\n")
+	fmt.Fprintf(w, "# TYPE cohort_scrape_total counter\ncohort_scrape_total %d\n", n)
+	fmt.Fprintf(w, "# HELP cohort_scrape_duration_ns Render time of the previous scrape.\n")
+	fmt.Fprintf(w, "# TYPE cohort_scrape_duration_ns gauge\ncohort_scrape_duration_ns %d\n", s.lastScrapeNs.Load())
+	s.lastScrapeNs.Store(uint64(time.Since(t0)))
+}
+
+// writeJSON is the shared JSON response path: explicit media type, no-store
+// caching (every payload is a live snapshot), indented body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response writer
 }
 
 func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
@@ -189,11 +243,7 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 			body.Status = "degraded" // still 200: degraded-but-alive
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(body) //nolint:errcheck // response writer
+	writeJSON(w, code, body)
 }
 
 func (s *Server) sessions(w http.ResponseWriter, r *http.Request) {
@@ -201,10 +251,7 @@ func (s *Server) sessions(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.opts.Sessions()) //nolint:errcheck // response writer
+	writeJSON(w, http.StatusOK, s.opts.Sessions())
 }
 
 func (s *Server) latency(w http.ResponseWriter, r *http.Request) {
@@ -212,10 +259,52 @@ func (s *Server) latency(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.opts.LatencyStats()) //nolint:errcheck // response writer
+	writeJSON(w, http.StatusOK, s.opts.LatencyStats())
+}
+
+func (s *Server) slo(w http.ResponseWriter, r *http.Request) {
+	if s.opts.SLOStats == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.opts.SLOStats())
+}
+
+func (s *Server) windows(w http.ResponseWriter, r *http.Request) {
+	if s.opts.WindowStats == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.opts.WindowStats())
+}
+
+// events serves the structured event ring. Query parameters: since=<seq>
+// resumes after a cursor from a previous page (default 0 = oldest held),
+// max=<n> caps the page size (default 256; <= 0 rejected).
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Events == nil {
+		http.NotFound(w, r)
+		return
+	}
+	since := uint64(0)
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	max := eventsDefaultMax
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad max parameter", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	writeJSON(w, http.StatusOK, s.opts.Events(since, max))
 }
 
 // index is a minimal landing page listing the endpoints.
@@ -225,7 +314,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "cohort observability\n\n/metrics\n/healthz\n/trace\n/sessions\n/stats/latency\n/debug/pprof/\n") //nolint:errcheck
+	io.WriteString(w, "cohort observability\n\n/metrics\n/healthz\n/trace\n/sessions\n/stats/latency\n/stats/slo\n/stats/windows\n/events\n/debug/pprof/\n") //nolint:errcheck
 }
 
 // AwaitShutdown is the shared daemon exit path: print banner (when

@@ -229,7 +229,112 @@ func TestIndexListsLatencyEndpoint(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
-	if !strings.Contains(body, "/stats/latency") {
-		t.Errorf("index does not advertise /stats/latency: %q", body)
+	for _, path := range []string{"/stats/latency", "/stats/slo", "/stats/windows", "/events"} {
+		if !strings.Contains(body, path) {
+			t.Errorf("index does not advertise %s: %q", path, body)
+		}
+	}
+}
+
+// TestJSONEndpointHeaders pins the response headers on every JSON endpoint:
+// an explicit media type and no-store caching, so intermediaries never serve
+// a stale health or SLO snapshot.
+func TestJSONEndpointHeaders(t *testing.T) {
+	s := New(Options{
+		Health:       func() []Health { return []Health{{Name: "e"}} },
+		Sessions:     func() any { return []string{} },
+		LatencyStats: func() any { return []string{} },
+		SLOStats:     func() any { return map[string]any{"degraded": ""} },
+		WindowStats:  func() any { return map[string]any{"tenants": []string{}} },
+		Events:       func(since uint64, max int) any { return map[string]any{"next": since, "events": []string{}} },
+	})
+	for _, path := range []string{"/healthz", "/sessions", "/stats/latency", "/stats/slo", "/stats/windows", "/events"} {
+		rec, body := get(t, s.Handler(), path)
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s status = %d, body %s", path, rec.Code, body)
+			continue
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s Content-Type = %q, want application/json", path, ct)
+		}
+		if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", path, cc)
+		}
+		if !json.Valid([]byte(body)) {
+			t.Errorf("%s body is not JSON: %q", path, body)
+		}
+	}
+}
+
+func TestSLOAndWindowsEndpoints(t *testing.T) {
+	// No source wired: 404, never "null".
+	for _, path := range []string{"/stats/slo", "/stats/windows", "/events"} {
+		if rec, _ := get(t, New(Options{}).Handler(), path); rec.Code != http.StatusNotFound {
+			t.Errorf("%s status = %d without a source, want 404", path, rec.Code)
+		}
+	}
+	s := New(Options{
+		SLOStats:    func() any { return map[string]any{"degraded": "tenant a: compute p99 over"} },
+		WindowStats: func() any { return map[string]any{"tenants": []map[string]any{{"tenant": "a"}}} },
+	})
+	if _, body := get(t, s.Handler(), "/stats/slo"); !strings.Contains(body, "compute p99 over") {
+		t.Errorf("/stats/slo body = %q", body)
+	}
+	if _, body := get(t, s.Handler(), "/stats/windows"); !strings.Contains(body, `"tenant": "a"`) {
+		t.Errorf("/stats/windows body = %q", body)
+	}
+}
+
+// TestEventsQueryParsing pins the /events cursor protocol: since/max pass
+// through to the source, defaults apply, and malformed parameters are 400s.
+func TestEventsQueryParsing(t *testing.T) {
+	var gotSince uint64
+	var gotMax int
+	s := New(Options{Events: func(since uint64, max int) any {
+		gotSince, gotMax = since, max
+		return map[string]any{"next": since}
+	}})
+
+	if rec, _ := get(t, s.Handler(), "/events"); rec.Code != http.StatusOK {
+		t.Fatalf("bare /events status = %d", rec.Code)
+	}
+	if gotSince != 0 || gotMax != eventsDefaultMax {
+		t.Errorf("defaults: since=%d max=%d, want 0/%d", gotSince, gotMax, eventsDefaultMax)
+	}
+
+	if rec, _ := get(t, s.Handler(), "/events?since=42&max=7"); rec.Code != http.StatusOK {
+		t.Fatalf("paged /events status = %d", rec.Code)
+	}
+	if gotSince != 42 || gotMax != 7 {
+		t.Errorf("paged: since=%d max=%d, want 42/7", gotSince, gotMax)
+	}
+
+	for _, q := range []string{"?since=abc", "?max=0", "?max=-3", "?max=x", "?since=-1"} {
+		if rec, _ := get(t, s.Handler(), "/events"+q); rec.Code != http.StatusBadRequest {
+			t.Errorf("/events%s status = %d, want 400", q, rec.Code)
+		}
+	}
+}
+
+// TestMetricsScrapeSelfMetrics pins the scrape meta-series appended to every
+// /metrics response: a scrape counter and the previous scrape's render time.
+func TestMetricsScrapeSelfMetrics(t *testing.T) {
+	s := New(Options{MetricsText: func(w io.Writer) error {
+		_, err := io.WriteString(w, "cohort_up 1\n")
+		return err
+	}})
+	_, body := get(t, s.Handler(), "/metrics")
+	if !strings.Contains(body, "cohort_scrape_total 1\n") {
+		t.Errorf("first scrape body missing cohort_scrape_total 1:\n%s", body)
+	}
+	if !strings.Contains(body, "cohort_scrape_duration_ns 0\n") {
+		t.Errorf("first scrape should report 0 prior duration:\n%s", body)
+	}
+	_, body = get(t, s.Handler(), "/metrics")
+	if !strings.Contains(body, "cohort_scrape_total 2\n") {
+		t.Errorf("second scrape body missing cohort_scrape_total 2:\n%s", body)
+	}
+	if strings.Contains(body, "cohort_scrape_duration_ns 0\n") {
+		t.Errorf("second scrape should report the first scrape's nonzero duration:\n%s", body)
 	}
 }

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"cohort"
+)
+
+// This file is the scheduler's side of the structured event plane and the
+// persistent per-tenant accounting behind the windowed telemetry sampler
+// (internal/telem). Per-session metric sources churn with connections, so a
+// registry consumer deriving per-tenant rates from them would see its
+// cumulative counters jump backwards at every retirement; the "tenant/<name>"
+// sources here accumulate across a tenant's whole session history and
+// unregister only when the scheduler closes — the same lifetime contract as
+// the "latency/<name>" stage aggregates.
+
+// EventSink receives the scheduler's state-transition events: session kills,
+// terminal accelerator faults, admission rejections. *telem.Log satisfies it;
+// the interface lives here so sched does not import the telemetry layer.
+type EventSink interface {
+	Emit(typ, tenant string, session uint64, detail string)
+}
+
+// Event type spellings, matching internal/telem's canonical constants.
+const (
+	eventSessionKill     = "session_kill"
+	eventTerminalFault   = "terminal_fault"
+	eventAdmissionReject = "admission_reject"
+)
+
+// emit forwards one transition to the configured sink, if any. Only failure
+// paths call it, so the detail strings may allocate.
+func (s *Scheduler) emit(typ, tenant string, session uint64, detail string) {
+	if s.cfg.Events != nil {
+		s.cfg.Events.Emit(typ, tenant, session, detail)
+	}
+}
+
+// tenantTotals is one tenant's lifetime serving counters, accumulated across
+// session churn. All fields are atomics bumped from the serving hot path
+// alongside the per-session counters (one extra atomic add per site, nothing
+// allocated), so the totals stay exact without a retirement hand-off step.
+type tenantTotals struct {
+	blocks    atomic.Uint64
+	wordsIn   atomic.Uint64
+	wordsOut  atomic.Uint64
+	retries   atomic.Uint64
+	recovered atomic.Uint64
+	terminal  atomic.Uint64
+	kills     atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+func (tt *tenantTotals) metrics() []cohort.Metric {
+	return []cohort.Metric{
+		{Name: "blocks", Value: tt.blocks.Load()},
+		{Name: "words_in", Value: tt.wordsIn.Load()},
+		{Name: "words_out", Value: tt.wordsOut.Load()},
+		{Name: "retries", Value: tt.retries.Load()},
+		{Name: "recovered", Value: tt.recovered.Load()},
+		{Name: "terminal_faults", Value: tt.terminal.Load()},
+		{Name: "kills", Value: tt.kills.Load()},
+		{Name: "rejected", Value: tt.rejected.Load()},
+	}
+}
+
+// tenantTotalsLocked returns (creating on first use) the tenant's persistent
+// counter set and registers its "tenant/<name>" metric source. Caller holds
+// s.mu.
+func (s *Scheduler) tenantTotalsLocked(tenant string) *tenantTotals {
+	if tt, ok := s.tenantTot[tenant]; ok {
+		return tt
+	}
+	tt := &tenantTotals{}
+	s.tenantTot[tenant] = tt
+	if reg := s.cfg.Registry; reg != nil {
+		// Same lifetime as the latency aggregates: survives session churn,
+		// unregisters only at Close — the monotone per-tenant series the
+		// windowed sampler differentiates into rates.
+		reg.RegisterLabeled("tenant/"+tenant,
+			[]cohort.Label{{Key: "tenant", Value: tenant}}, tt.metrics)
+	}
+	return tt
+}

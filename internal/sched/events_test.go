@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"cohort"
+)
+
+// captureSink records emitted events for assertions.
+type captureSink struct {
+	mu     sync.Mutex
+	events []capturedEvent
+}
+
+type capturedEvent struct {
+	typ, tenant, detail string
+	session             uint64
+}
+
+func (c *captureSink) Emit(typ, tenant string, session uint64, detail string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, capturedEvent{typ, tenant, detail, session})
+}
+
+func (c *captureSink) byType(typ string) []capturedEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []capturedEvent
+	for _, e := range c.events {
+		if e.typ == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestEventEmissionKillTerminalReject(t *testing.T) {
+	sink := &captureSink{}
+	s := New(Config{Engines: 1, MaxSessions: 1, Events: sink})
+	defer s.Close()
+
+	// Terminal fault: a session whose accelerator fails terminally on its
+	// first block.
+	fa := cohort.NewFaultAccel(cohort.NewNull(), cohort.FaultPlan{TerminalAfter: 1})
+	ss, err := s.Register(SessionConfig{Tenant: "faulty", Accel: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Admission rejection while the first session holds the only slot.
+	if _, err := s.Register(SessionConfig{Tenant: "late", Accel: cohort.NewNull()}); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("expected rejection, got %v", err)
+	}
+	rejects := sink.byType(eventAdmissionReject)
+	if len(rejects) != 1 || rejects[0].tenant != "late" || !strings.Contains(rejects[0].detail, "max 1") {
+		t.Fatalf("admission_reject events = %+v", rejects)
+	}
+
+	ss.In().PushSlice(make([]cohort.Word, 4))
+	ss.CloseSend()
+	<-ss.Done()
+	if err := ss.Err(); err == nil {
+		t.Fatal("faulty session retired without error")
+	}
+	faults := sink.byType(eventTerminalFault)
+	if len(faults) != 1 || faults[0].tenant != "faulty" || faults[0].session != ss.ID() {
+		t.Fatalf("terminal_fault events = %+v", faults)
+	}
+	if !strings.Contains(faults[0].detail, "after 1 blocks") {
+		t.Errorf("terminal_fault detail = %q, want completed-block count", faults[0].detail)
+	}
+
+	// Kill: a fresh idle session killed by the operator.
+	victim, err := s.Register(SessionConfig{Tenant: "victim", Accel: cohort.NewNull()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Kill(victim.ID()) {
+		t.Fatal("Kill found no session")
+	}
+	<-victim.Done()
+	kills := sink.byType(eventSessionKill)
+	if len(kills) != 1 || kills[0].tenant != "victim" || kills[0].session != victim.ID() {
+		t.Fatalf("session_kill events = %+v", kills)
+	}
+}
+
+func TestTenantTotalsPersistAcrossChurn(t *testing.T) {
+	reg := cohort.NewRegistry()
+	s := New(Config{Engines: 1, Registry: reg})
+	defer s.Close()
+
+	// Two sessions for the same tenant, serially; totals must accumulate.
+	const words = 32
+	for i := 0; i < 2; i++ {
+		ss, err := s.Register(SessionConfig{Tenant: "alice", Accel: cohort.NewNull()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss.In().PushSlice(make([]cohort.Word, words))
+		ss.CloseSend()
+		<-ss.Done()
+	}
+
+	snaps, labels := reg.SnapshotLabeled()
+	var got map[string]uint64
+	for i, sn := range snaps {
+		if sn.Name != "tenant/alice" {
+			continue
+		}
+		if len(labels[i]) != 1 || labels[i][0] != (cohort.Label{Key: "tenant", Value: "alice"}) {
+			t.Fatalf("tenant/alice labels = %+v", labels[i])
+		}
+		got = make(map[string]uint64, len(sn.Metrics))
+		for _, m := range sn.Metrics {
+			got[m.Name] = m.Value
+		}
+	}
+	if got == nil {
+		t.Fatal("no tenant/alice source after session churn")
+	}
+	if got["blocks"] != 2*words || got["words_in"] != 2*words || got["words_out"] != 2*words {
+		t.Fatalf("tenant totals = %+v, want %d blocks/words accumulated over both sessions", got, 2*words)
+	}
+
+	s.Close()
+	for _, sn := range reg.Snapshot() {
+		if sn.Name == "tenant/alice" {
+			t.Fatal("tenant/alice source survives Close")
+		}
+	}
+}
+
+func TestTenantTotalsCountRetries(t *testing.T) {
+	sink := &captureSink{}
+	reg := cohort.NewRegistry()
+	s := New(Config{Engines: 1, Registry: reg, Retries: 3, Events: sink})
+	defer s.Close()
+
+	fa := cohort.NewFaultAccel(cohort.NewNull(), cohort.FaultPlan{
+		Transient: []cohort.TransientFault{{Block: 1, Count: 2}},
+	})
+	ss, err := s.Register(SessionConfig{Tenant: "flaky", Accel: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.In().PushSlice(make([]cohort.Word, 8))
+	ss.CloseSend()
+	<-ss.Done()
+	if err := ss.Err(); err != nil {
+		t.Fatalf("flaky session should recover, got %v", err)
+	}
+
+	for _, sn := range reg.Snapshot() {
+		if sn.Name != "tenant/flaky" {
+			continue
+		}
+		m := map[string]uint64{}
+		for _, mm := range sn.Metrics {
+			m[mm.Name] = mm.Value
+		}
+		if m["retries"] != 2 || m["recovered"] != 1 {
+			t.Fatalf("tenant totals = %+v, want 2 retries / 1 recovered", m)
+		}
+		return
+	}
+	t.Fatal("no tenant/flaky source")
+}

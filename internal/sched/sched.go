@@ -107,6 +107,11 @@ type Config struct {
 	// and the wire Telemetry frames. Default 64 (matching the engine drain
 	// histogram's stride); negative disables attribution entirely.
 	LatencySample int
+	// Events, when non-nil, receives the scheduler's state transitions —
+	// session kills, terminal accelerator faults, admission rejections — for
+	// the structured event plane (a *telem.Log satisfies it). Only failure
+	// paths emit; the zero-alloc serving steady state never touches it.
+	Events EventSink
 }
 
 // Tracer is the track factory a scheduler records onto — the method shared
@@ -239,6 +244,7 @@ type Session struct {
 	admitted  time.Time
 	lat       *stageSet
 	tlat      *stageSet
+	ttot      *tenantTotals // tenant lifetime counters (events.go)
 	ingressNs atomic.Uint64
 	egressNs  atomic.Uint64
 
@@ -349,10 +355,11 @@ type Scheduler struct {
 	vtime    float64 // virtual time: pass of the most recently dispatched session
 	sessions map[uint64]*Session
 
-	// tenantLat maps tenant name → persistent stage-latency aggregate
-	// (latency.go); entries accumulate across session churn and unregister
-	// only at Close. Guarded by mu.
+	// tenantLat and tenantTot map tenant name → persistent per-tenant
+	// aggregates (latency.go, events.go); entries accumulate across session
+	// churn and unregister only at Close. Guarded by mu.
 	tenantLat map[string]*stageSet
+	tenantTot map[string]*tenantTotals
 
 	// workerOps[i] counts worker i's scheduling-loop passes — the monotone
 	// progress counter WatchWorkers feeds the stall watchdog.
@@ -427,6 +434,7 @@ func New(cfg Config) *Scheduler {
 		kick:      make(chan struct{}, 1),
 		sessions:  make(map[uint64]*Session),
 		tenantLat: make(map[string]*stageSet),
+		tenantTot: make(map[string]*tenantTotals),
 		workerOps: make([]atomic.Uint64, cfg.Engines),
 	}
 	if cfg.Trace != nil {
@@ -517,8 +525,11 @@ func (s *Scheduler) Register(cfg SessionConfig) (*Session, error) {
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.rejections.Add(1)
+		s.tenantTotalsLocked(cfg.Tenant).rejected.Add(1)
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w (%d live, max %d)", ErrTooManySessions, s.cfg.MaxSessions, s.cfg.MaxSessions)
+		err := fmt.Errorf("%w (%d live, max %d)", ErrTooManySessions, s.cfg.MaxSessions, s.cfg.MaxSessions)
+		s.emit(eventAdmissionReject, cfg.Tenant, 0, err.Error())
+		return nil, err
 	}
 	s.nextID++
 	ss := &Session{
@@ -539,6 +550,7 @@ func (s *Scheduler) Register(cfg SessionConfig) (*Session, error) {
 	ss.admitted = time.Now()
 	ss.lat = &stageSet{}
 	ss.tlat = s.tenantStagesLocked(ss.tenant)
+	ss.ttot = s.tenantTotalsLocked(ss.tenant)
 	s.sessions[ss.id] = ss
 	s.admitted.Add(1)
 	if s.schedTrk != nil {
@@ -651,6 +663,15 @@ func (s *Scheduler) Close() {
 			s.mu.Unlock()
 			for _, t := range tenants {
 				s.cfg.Registry.Unregister("latency/" + t)
+			}
+			s.mu.Lock()
+			totals := make([]string, 0, len(s.tenantTot))
+			for t := range s.tenantTot {
+				totals = append(totals, t)
+			}
+			s.mu.Unlock()
+			for _, t := range totals {
+				s.cfg.Registry.Unregister("tenant/" + t)
 			}
 		}
 	})
@@ -888,7 +909,9 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session, tPick time
 	if ss.killed.Load() {
 		ss.fail(ErrKilled)
 		s.kills.Add(1)
+		ss.ttot.kills.Add(1)
 		s.retire(ss)
+		s.emit(eventSessionKill, ss.tenant, ss.id, "killed before dispatch")
 		return
 	}
 	inW := ss.inW
@@ -935,6 +958,7 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session, tPick time
 	ss.in.CommitRead(n)
 	notify(ss.inKick)
 	ss.wordsIn.Add(uint64(n))
+	ss.ttot.wordsIn.Add(uint64(n))
 
 	sampled := !tPick.IsZero() && !ss.legacy
 	var tCompute0 time.Time
@@ -961,7 +985,9 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session, tPick time
 				return
 			}
 			ss.wordsOut.Add(uint64(len(res)))
+			ss.ttot.wordsOut.Add(uint64(len(res)))
 			ss.blocks.Add(1)
+			ss.ttot.blocks.Add(1)
 		}
 		if trk != nil {
 			trk.End(ss.serveSpan, t0)
@@ -984,8 +1010,10 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session, tPick time
 			// already has a claim on them, exactly as with per-block handoff.
 			if len(out) > 0 && s.pushOut(ss, out) {
 				ss.wordsOut.Add(uint64(len(out)))
+				ss.ttot.wordsOut.Add(uint64(len(out)))
 			}
 			ss.blocks.Add(uint64(completed))
+			ss.ttot.blocks.Add(uint64(completed))
 			s.failQuantum(ss, completed, err)
 			return
 		}
@@ -1000,10 +1028,12 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session, tPick time
 	if len(out) > 0 {
 		if !s.pushOut(ss, out) {
 			ss.blocks.Add(uint64(completed))
+			ss.ttot.blocks.Add(uint64(completed))
 			s.failQuantum(ss, completed, ErrKilled)
 			return
 		}
 		ss.wordsOut.Add(uint64(len(out)))
+		ss.ttot.wordsOut.Add(uint64(len(out)))
 		if sampled {
 			// Leave the egress stamp for the socket pump: it closes the wire
 			// stage when this quantum's coalesced frame reaches the kernel.
@@ -1011,6 +1041,7 @@ func (s *Scheduler) serveQuantum(trk *cohort.TraceTrack, ss *Session, tPick time
 		}
 	}
 	ss.blocks.Add(uint64(completed))
+	ss.ttot.blocks.Add(uint64(completed))
 	if trk != nil {
 		trk.End(ss.serveSpan, t0)
 	}
@@ -1029,11 +1060,18 @@ func (s *Scheduler) failQuantum(ss *Session, completed int, err error) {
 	if errors.Is(err, ErrKilled) {
 		ss.fail(ErrKilled)
 		s.kills.Add(1)
-	} else {
-		ss.fail(fmt.Errorf("sched: accelerator %s failed for tenant %s: %w", ss.acc.Name(), ss.tenant, err))
-		s.faultsTerminal.Add(1)
+		ss.ttot.kills.Add(1)
+		s.retire(ss)
+		s.emit(eventSessionKill, ss.tenant, ss.id,
+			fmt.Sprintf("killed mid-quantum after %d blocks", completed))
+		return
 	}
+	ss.fail(fmt.Errorf("sched: accelerator %s failed for tenant %s: %w", ss.acc.Name(), ss.tenant, err))
+	s.faultsTerminal.Add(1)
+	ss.ttot.terminal.Add(1)
 	s.retire(ss)
+	s.emit(eventTerminalFault, ss.tenant, ss.id,
+		fmt.Sprintf("accelerator %s: %v (after %d blocks)", ss.acc.Name(), err, completed))
 }
 
 // processBlock runs one block through the session's accelerator, retrying
@@ -1051,6 +1089,7 @@ func (s *Scheduler) processBlock(ss *Session, in []cohort.Word) ([]cohort.Word, 
 	pause := s.cfg.RetryBackoff
 	for attempt := 0; attempt < s.cfg.Retries && cohort.IsTransient(err); attempt++ {
 		ss.retries.Add(1)
+		ss.ttot.retries.Add(1)
 		s.faultsTransient.Add(1)
 		if pause > 0 {
 			t := time.NewTimer(pause)
@@ -1069,6 +1108,7 @@ func (s *Scheduler) processBlock(ss *Session, in []cohort.Word) ([]cohort.Word, 
 		}
 		if res, err = ss.acc.Process(in); err == nil {
 			ss.recovered.Add(1)
+			ss.ttot.recovered.Add(1)
 			s.faultsRecovered.Add(1)
 			return res, nil
 		}

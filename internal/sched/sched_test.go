@@ -208,11 +208,12 @@ func TestSessionChurnNoLeaks(t *testing.T) {
 		t.Errorf("%d sessions still live after churn", n)
 	}
 	// Per-session sources die with their sessions; what remains is the
-	// scheduler's own "sched" source plus one persistent "latency/<tenant>"
-	// aggregate per tenant (those outlive session churn by design and
+	// scheduler's own "sched" source plus the persistent per-tenant
+	// aggregates — one "latency/<tenant>" stage set and one "tenant/<tenant>"
+	// counter set per tenant (those outlive session churn by design and
 	// unregister only at Close).
-	if n := reg.Len(); n != 1+tenants {
-		t.Errorf("registry holds %d sources after churn, want %d", n, 1+tenants)
+	if n := reg.Len(); n != 1+2*tenants {
+		t.Errorf("registry holds %d sources after churn, want %d", n, 1+2*tenants)
 	}
 	s.Close()
 	if n := reg.Len(); n != 0 {

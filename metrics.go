@@ -5,6 +5,8 @@ import (
 	"io"
 	"math/bits"
 	"reflect"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,11 +24,20 @@ import (
 
 // Metric is one named sample: a plain counter value, or — when Histo is
 // non-nil — a whole latency distribution (rendered as quantiles by String
-// and as a Prometheus summary by WritePrometheus).
+// and as a Prometheus summary by WritePrometheus), or — when IsFloat is
+// set — a float-valued gauge (the windowed rates internal/telem derives;
+// Value is ignored).
 type Metric struct {
-	Name  string
-	Value uint64
-	Histo *LatencyHistogram
+	Name    string
+	Value   uint64
+	Float   float64
+	IsFloat bool
+	Histo   *LatencyHistogram
+}
+
+// FloatMetric builds a float-valued gauge sample.
+func FloatMetric(name string, v float64) Metric {
+	return Metric{Name: name, Float: v, IsFloat: true}
 }
 
 // SourceSnapshot is one registered source's counters at snapshot time.
@@ -125,9 +136,12 @@ func (r *Registry) Snapshot() []SourceSnapshot {
 	return out
 }
 
-// snapshotLabeled is Snapshot plus each source's exposition labels, for
-// WritePrometheus.
-func (r *Registry) snapshotLabeled() ([]SourceSnapshot, [][]Label) {
+// SnapshotLabeled is Snapshot plus each source's exposition labels, aligned
+// by index — the view WritePrometheus renders and the windowed telemetry
+// sampler (internal/telem) folds into per-tenant aggregates: a consumer that
+// needs to group sources by tenant reads the labels instead of parsing
+// source-name spellings.
+func (r *Registry) SnapshotLabeled() ([]SourceSnapshot, [][]Label) {
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
 	fns := make([]func() []Metric, len(names))
@@ -161,6 +175,10 @@ func (r *Registry) String() string {
 					m.Histo.Quantile(0.5), m.Histo.Quantile(0.95), m.Histo.Quantile(0.99), m.Histo.Samples())
 				continue
 			}
+			if m.IsFloat {
+				fmt.Fprintf(&b, "  %-*s %g\n", width, m.Name, m.Float)
+				continue
+			}
 			fmt.Fprintf(&b, "  %-*s %d\n", width, m.Name, m.Value)
 		}
 	}
@@ -184,7 +202,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	families := make(map[string][]sample)
 	var names []string
-	snaps, labels := r.snapshotLabeled()
+	snaps, labels := r.SnapshotLabeled()
 	for i, s := range snaps {
 		var lb strings.Builder
 		fmt.Fprintf(&lb, "source=\"%s\"", promEscape(s.Name))
@@ -217,6 +235,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 				fmt.Fprintf(&b, "%s_sum{%s} %s\n", fam, s.labels, promFloat(h.sumEstimate()))
 				fmt.Fprintf(&b, "%s_count{%s} %d\n", fam, s.labels, h.Samples())
+				continue
+			}
+			if s.m.IsFloat {
+				fmt.Fprintf(&b, "%s{%s} %s\n", fam, s.labels, promFloat(s.m.Float))
 				continue
 			}
 			fmt.Fprintf(&b, "%s{%s} %d\n", fam, s.labels, s.m.Value)
@@ -271,6 +293,27 @@ func promEscape(v string) string {
 // promFloat formats a float sample value (quantiles, sums).
 func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// RegisterBuildInfo exposes a constant cohort_build_info gauge (value 1)
+// under the given source name, with the binary's identity as labels: module
+// version (from debug.ReadBuildInfo; "unknown" outside module builds), Go
+// toolchain version, GOOS and GOARCH. The Prometheus *_info idiom: join
+// against it to annotate any other series with what build produced it.
+func RegisterBuildInfo(r *Registry, name string) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	labels := []Label{
+		{Key: "version", Value: version},
+		{Key: "go_version", Value: runtime.Version()},
+		{Key: "goos", Value: runtime.GOOS},
+		{Key: "goarch", Value: runtime.GOARCH},
+	}
+	r.RegisterLabeled(name, labels, func() []Metric {
+		return []Metric{{Name: "build_info", Value: 1}}
+	})
 }
 
 // RegisterFifo exposes a queue's FifoStats under the given source name.

@@ -1,0 +1,101 @@
+package cohort
+
+import "testing"
+
+// TestQuantileEmptyHistogram: no samples means no estimate — every p maps to
+// 0 rather than a fabricated latency.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h LatencyHistogram
+	for _, p := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if q := h.Quantile(p); q != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", p, q)
+		}
+	}
+}
+
+// TestQuantileSingleBucketMass: with every sample in one log2 bucket, all
+// quantiles must interpolate strictly inside that bucket's bounds — the
+// factor-of-2 accuracy contract — and Quantile(1) must hit the upper bound
+// exactly.
+func TestQuantileSingleBucketMass(t *testing.T) {
+	var r LatencyRecorder
+	for i := 0; i < 1000; i++ {
+		r.Observe(1500) // bit length 11: bucket [1024, 2048)
+	}
+	h := r.Snapshot()
+	lo, hi := 1024.0, 2048.0
+	for _, p := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		q := h.Quantile(p)
+		if q <= 0 || q < lo || q > hi {
+			t.Errorf("Quantile(%g) = %g, want within bucket [%g, %g]", p, q, lo, hi)
+		}
+	}
+	if q := h.Quantile(1); q != hi {
+		t.Errorf("Quantile(1) = %g, want the bucket upper bound %g", q, hi)
+	}
+}
+
+// TestQuantileClamping: p outside [0,1] clamps to the endpoints instead of
+// walking off the distribution.
+func TestQuantileClamping(t *testing.T) {
+	var r LatencyRecorder
+	for _, ns := range []uint64{100, 1000, 10000, 100000} {
+		for i := 0; i < 25; i++ {
+			r.Observe(ns)
+		}
+	}
+	h := r.Snapshot()
+	if got, want := h.Quantile(-0.5), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-0.5) = %g, want Quantile(0) = %g", got, want)
+	}
+	if got, want := h.Quantile(1.5), h.Quantile(1); got != want {
+		t.Errorf("Quantile(1.5) = %g, want Quantile(1) = %g", got, want)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Errorf("clamped endpoints inverted: q0=%g > q1=%g", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+// TestQuantileMonotonicAcrossQ: over a spread-out distribution, the estimate
+// must be non-decreasing in p — a regression here would scramble any p50/p99
+// report built on it.
+func TestQuantileMonotonicAcrossQ(t *testing.T) {
+	var r LatencyRecorder
+	// Uneven mass across five decades, plus some zero-duration samples.
+	for i := 0; i < 10; i++ {
+		r.Observe(0)
+	}
+	for bucketNs, count := range map[uint64]int{50: 500, 700: 200, 9000: 100, 80000: 40, 2000000: 3} {
+		for i := 0; i < count; i++ {
+			r.Observe(bucketNs)
+		}
+	}
+	h := r.Snapshot()
+	prev := -1.0
+	for _, p := range []float64{0, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Errorf("Quantile(%g) = %g < previous %g: not monotone", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+// TestQuantileZeroBucket: zero-duration samples live in bucket 0 and quantile
+// ranks that land there report exactly 0, not an interpolated sub-nanosecond.
+func TestQuantileZeroBucket(t *testing.T) {
+	var r LatencyRecorder
+	for i := 0; i < 90; i++ {
+		r.Observe(0)
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe(4000)
+	}
+	h := r.Snapshot()
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("Quantile(0.5) = %g with 90%% zero-duration mass, want 0", q)
+	}
+	if q := h.Quantile(0.99); q <= 0 {
+		t.Errorf("Quantile(0.99) = %g, want the nonzero tail", q)
+	}
+}

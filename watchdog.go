@@ -31,12 +31,14 @@ import (
 //
 // All methods are safe for concurrent use.
 type Watchdog struct {
-	window  time.Duration
-	every   time.Duration
-	onStall func(StallEvent)
-	flight  *FlightRecorder
+	window    time.Duration
+	every     time.Duration
+	onStall   func(StallEvent)
+	onRecover func(StallEvent)
+	flight    *FlightRecorder
 
-	stalls atomic.Uint64
+	stalls     atomic.Uint64
+	recoveries atomic.Uint64
 
 	mu      sync.Mutex
 	watched map[string]*watchEntry
@@ -90,6 +92,15 @@ type WatchdogOption func(*Watchdog)
 // engine transitions into the stalled state.
 func WithStallCallback(fn func(StallEvent)) WatchdogOption {
 	return func(w *Watchdog) { w.onStall = fn }
+}
+
+// WithRecoveryCallback invokes fn (on the watchdog goroutine) each time a
+// stalled engine makes progress again — the other edge of the stall state
+// machine, so an event plane records the full stall→recover interval rather
+// than a one-sided alarm. The event's Idle is how long the stall lasted, from
+// the last observed progress to the recovering scan.
+func WithRecoveryCallback(fn func(StallEvent)) WatchdogOption {
+	return func(w *Watchdog) { w.onRecover = fn }
 }
 
 // WithStallDump dumps the flight recorder's ring (FlightRecorder.AutoDump)
@@ -171,6 +182,9 @@ func (w *Watchdog) Unwatch(name string) {
 // Stalls returns how many stall transitions have been detected.
 func (w *Watchdog) Stalls() uint64 { return w.stalls.Load() }
 
+// Recoveries returns how many stalled engines have resumed progress.
+func (w *Watchdog) Recoveries() uint64 { return w.recoveries.Load() }
+
 // Stop halts the monitor goroutine. Idempotent; returns once it has exited.
 func (w *Watchdog) Stop() {
 	w.stopOnce.Do(func() { close(w.stop) })
@@ -213,14 +227,21 @@ func (w *Watchdog) run() {
 	}
 }
 
-// scan samples every watched engine once. Stall events fire outside the
-// watchdog lock so callbacks may call Health/Watch/Unwatch freely.
+// scan samples every watched engine once. Stall and recovery events fire
+// outside the watchdog lock so callbacks may call Health/Watch/Unwatch
+// freely.
 func (w *Watchdog) scan(now time.Time) {
-	var fired []StallEvent
+	var fired, recovered []StallEvent
 	w.mu.Lock()
 	for name, en := range w.watched {
 		p := en.probe()
 		if p.Progress != en.lastProgress {
+			if en.stalled {
+				// Recovery edge: the component was declared stalled and has
+				// now moved again.
+				w.recoveries.Add(1)
+				recovered = append(recovered, StallEvent{Engine: name, Idle: now.Sub(en.lastMove)})
+			}
 			en.lastProgress = p.Progress
 			en.lastMove = now
 			en.stalled = false
@@ -245,6 +266,11 @@ func (w *Watchdog) scan(now time.Time) {
 			w.onStall(ev)
 		}
 	}
+	for _, ev := range recovered {
+		if w.onRecover != nil {
+			w.onRecover(ev)
+		}
+	}
 }
 
 // RegisterWatchdog exposes the watchdog's counters under the given source
@@ -264,6 +290,7 @@ func RegisterWatchdog(r *Registry, name string, w *Watchdog) {
 		}
 		return []Metric{
 			{Name: "stalls", Value: w.Stalls()},
+			{Name: "recoveries", Value: w.Recoveries()},
 			{Name: "watched", Value: uint64(len(hs))},
 			{Name: "stalled", Value: stalled},
 			{Name: "parked", Value: parked},

@@ -3,6 +3,7 @@ package cohort
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -94,6 +95,60 @@ func TestWatchdogDetectsStallAndRecovery(t *testing.T) {
 	}
 	if w.Stalls() != 1 {
 		t.Errorf("Stalls() after recovery = %d, want still 1 (edge-triggered)", w.Stalls())
+	}
+}
+
+// TestWatchdogRecoveryCallback pins the other edge of the stall state
+// machine: when a stalled component makes progress again, the recovery
+// callback fires once with the stall's duration, and Recoveries() counts the
+// transition.
+func TestWatchdogRecoveryCallback(t *testing.T) {
+	var progress, pending atomic.Uint64
+	pending.Store(1)
+
+	stalls := make(chan StallEvent, 4)
+	recoveries := make(chan StallEvent, 4)
+	w := NewWatchdog(25*time.Millisecond,
+		WithPollEvery(5*time.Millisecond),
+		WithStallCallback(func(ev StallEvent) { stalls <- ev }),
+		WithRecoveryCallback(func(ev StallEvent) { recoveries <- ev }))
+	defer w.Stop()
+	w.WatchProbe("pump", func() Probe {
+		return Probe{Progress: progress.Load(), Pending: pending.Load() != 0}
+	})
+
+	select {
+	case <-stalls:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never detected the stall")
+	}
+	if w.Recoveries() != 0 {
+		t.Fatalf("Recoveries() = %d before any progress", w.Recoveries())
+	}
+
+	progress.Add(1) // the component moves again
+	select {
+	case ev := <-recoveries:
+		if ev.Engine != "pump" {
+			t.Errorf("recovery event for %q, want pump", ev.Engine)
+		}
+		if ev.Idle < 25*time.Millisecond {
+			t.Errorf("recovery reports %v stall duration, want >= window", ev.Idle)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired the recovery callback")
+	}
+	if w.Recoveries() != 1 {
+		t.Errorf("Recoveries() = %d, want 1", w.Recoveries())
+	}
+
+	// Steady progress fires no further recovery edges.
+	progress.Add(1)
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case ev := <-recoveries:
+		t.Fatalf("spurious recovery event %+v", ev)
+	default:
 	}
 }
 
