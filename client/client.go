@@ -65,6 +65,13 @@ type Options struct {
 	// client-side cost. Off by default — old daemons ignore unknown JSON
 	// fields and simply never send timing.
 	ServerTiming bool
+	// Cluster, when set, turns on client-side shard routing: Connect fetches
+	// the gateway's /ring snapshot, rebuilds the consistent-hash ring locally,
+	// and dials the tenant's owning shard directly — the data path skips the
+	// gateway proxy hop entirely. The addr argument to Connect becomes the
+	// fallback wire address (normally the gateway's), used when the ring
+	// cannot be fetched. See ClusterOptions.
+	Cluster *ClusterOptions
 }
 
 // ErrRejected wraps the daemon's refusal to open the session (admission
@@ -77,6 +84,15 @@ var ErrRejected = errors.New("cohort client: session rejected")
 // is the one rejection worth retrying — Options.Reconnect does so
 // automatically.
 var ErrAdmission = errors.New("cohort client: admission control full")
+
+// ErrDraining is the typed form of a drain-mode rejection: the daemon is
+// draining for a rolling restart — it admits nothing new but is still
+// flushing in-flight sessions. It wraps ErrRejected (errors.Is matches both)
+// and, unlike ErrAdmission, there is nothing to wait for: the right move is
+// to go to another shard immediately, so Options.Reconnect retries it with
+// no pause and no backoff doubling (through a gateway or with
+// Options.Cluster routing, the next attempt lands elsewhere).
+var ErrDraining = errors.New("cohort client: daemon draining")
 
 // ErrKilled: the daemon forcibly tore the session down mid-stream (operator
 // kill, dead peer verdict). Results already received are valid; the stream is
@@ -121,7 +137,12 @@ func Connect(addr string, opts Options) (*Conn, error) {
 	if opts.Accel == "" {
 		return nil, errors.New("cohort client: Options.Accel is required")
 	}
-	c, err := connect(addr, opts)
+	dial := func() (*Conn, error) { return connect(addr, opts) }
+	if opts.Cluster != nil {
+		// Client-side routing: fetch the ring, dial the shard directly.
+		dial = func() (*Conn, error) { return clusterConnect(addr, opts) }
+	}
+	c, err := dial()
 	if err == nil || opts.Reconnect <= 0 {
 		return c, err
 	}
@@ -134,11 +155,16 @@ func Connect(addr string, opts Options) (*Conn, error) {
 		maxPause = 2 * time.Second
 	}
 	for attempt := 0; attempt < opts.Reconnect && reconnectable(err); attempt++ {
-		time.Sleep(pause)
-		if pause *= 2; pause > maxPause {
-			pause = maxPause
+		if !errors.Is(err, ErrDraining) {
+			// ErrDraining retries immediately and leaves the backoff untouched:
+			// waiting cannot help a shard that has stopped admitting, and the
+			// next attempt goes to a different shard through a routing tier.
+			time.Sleep(pause)
+			if pause *= 2; pause > maxPause {
+				pause = maxPause
+			}
 		}
-		if c, err = connect(addr, opts); err == nil {
+		if c, err = dial(); err == nil {
 			return c, nil
 		}
 	}
@@ -146,10 +172,10 @@ func Connect(addr string, opts Options) (*Conn, error) {
 }
 
 // reconnectable reports whether a Connect failure is worth retrying: dial
-// errors and admission-control rejections are; deliberate rejections
-// (unknown accelerator, bad CSR) are final.
+// errors, admission-control rejections, and drain-mode rejections are;
+// deliberate rejections (unknown accelerator, bad CSR) are final.
 func reconnectable(err error) bool {
-	if errors.Is(err, ErrAdmission) {
+	if errors.Is(err, ErrAdmission) || errors.Is(err, ErrDraining) {
 		return true
 	}
 	return !errors.Is(err, ErrRejected)
@@ -195,8 +221,11 @@ func connect(addr string, opts Options) (*Conn, error) {
 			return nil, err
 		}
 		nc.Close()
-		if rej.Code == wire.CodeAdmission {
+		switch rej.Code {
+		case wire.CodeAdmission:
 			return nil, fmt.Errorf("%w (%w): %s", ErrAdmission, ErrRejected, rej.Message)
+		case wire.CodeDraining:
+			return nil, fmt.Errorf("%w (%w): %s", ErrDraining, ErrRejected, rej.Message)
 		}
 		return nil, fmt.Errorf("%w: %s", ErrRejected, rej.Message)
 	default:

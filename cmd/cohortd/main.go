@@ -91,6 +91,8 @@ func main() {
 		sloShort      = flag.Duration("slo-short", 10*time.Second, "short observation window for rates, quantiles and burn rates")
 		sloLong       = flag.Duration("slo-long", 5*time.Minute, "long observation window for burn-rate confirmation")
 		eventsCap     = flag.Int("events", 1024, "structured event ring capacity (/events)")
+		drain         = flag.Bool("drain", false, "drain on SIGTERM/SIGINT: stop admitting sessions, flush the in-flight ones (up to -drain-timeout), then exit — the rolling-restart path; /drain (POST) starts a drain early")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight sessions to finish when draining")
 		noDelay       = flag.Bool("nodelay", true, "set TCP_NODELAY on accepted connections (frames flush without Nagle delay)")
 		sockBuf       = flag.Int("sockbuf", 0, "socket read/write buffer size in bytes for accepted connections (0: kernel default)")
 		logLevel      = flag.String("log-level", "info", "log floor: debug, info, warn or error")
@@ -128,13 +130,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(cfg, tc, logger, *listen, *httpAddr, *noDelay, *sockBuf, *stallWindow); err != nil {
+	if err := run(cfg, tc, logger, *listen, *httpAddr, *noDelay, *sockBuf, *stallWindow, *drain, *drainTimeout); err != nil {
 		logger.Error("cohortd exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg sched.Config, tc telemConfig, logger *slog.Logger, listen, httpAddr string, noDelay bool, sockBuf int, stallWindow time.Duration) error {
+func run(cfg sched.Config, tc telemConfig, logger *slog.Logger, listen, httpAddr string, noDelay bool, sockBuf int, stallWindow time.Duration, drain bool, drainTimeout time.Duration) error {
 	reg := cohort.NewRegistry()
 	flight := cohort.NewFlightRecorder(4096)
 	cfg.Registry = reg
@@ -197,6 +199,16 @@ func run(cfg sched.Config, tc telemConfig, logger *slog.Logger, listen, httpAddr
 			SLOStats:     func() any { return sampler.Status() },
 			WindowStats:  func() any { return sampler.Windows() },
 			Events:       func(since uint64, max int) any { return events.PageSince(since, max) },
+			// /drain: POST starts draining (stop admitting, flush in-flight
+			// sessions); GET reads progress. Either way the response is the
+			// live drain-progress document.
+			Drain: func(trigger bool) any {
+				if trigger {
+					logger.Info("drain requested via /drain")
+					s.Drain()
+				}
+				return s.DrainStatus()
+			},
 			// /healthz: the serving plane is degraded-but-alive (200,
 			// "degraded") once it has contained terminal faults or kills; a
 			// live session parked on an error shows as its own degraded row;
@@ -204,7 +216,10 @@ func run(cfg sched.Config, tc telemConfig, logger *slog.Logger, listen, httpAddr
 			// whole document unhealthy (503).
 			Health: func() []obsrv.Health {
 				st := s.Stats()
-				hs := []obsrv.Health{{Name: "sched"}}
+				// Draining flips /healthz to status "draining" (still 200):
+				// routing tiers eject the shard from the ring while in-flight
+				// clients finish cleanly.
+				hs := []obsrv.Health{{Name: "sched", Draining: s.Draining()}}
 				if n := st.TerminalFaults + st.Kills; n > 0 {
 					hs[0].Degraded = fmt.Sprintf("%d terminal faults, %d kills contained",
 						st.TerminalFaults, st.Kills)
@@ -246,6 +261,38 @@ func run(cfg sched.Config, tc telemConfig, logger *slog.Logger, listen, httpAddr
 	obsrv.AwaitShutdown(
 		fmt.Sprintf("serving %d engines on %s (quantum %d blocks) until interrupted (Ctrl-C)",
 			cfg.Engines, ln.Addr(), cfg.Quantum),
+		// Drain barrier, ahead of the teardown hooks: stop admitting, then
+		// let the in-flight sessions stream their final Done frames before
+		// the server starts closing connections. The observability plane is
+		// still up, so the fleet catalog sees "draining" and ejects this
+		// shard from the ring while its sessions finish.
+		func() {
+			if !drain {
+				return
+			}
+			s.Drain()
+			ds := s.DrainStatus()
+			logger.Info("draining", "live_sessions", ds.Live, "timeout", drainTimeout)
+			deadline := time.Now().Add(drainTimeout)
+			select {
+			case <-s.Drained():
+			case <-time.After(drainTimeout):
+				logger.Warn("drain timeout; closing with sessions still live",
+					"live_sessions", s.DrainStatus().Live)
+			}
+			// Scheduler retirement is not wire-level flush: the handlers may
+			// still be writing the final Done frames. Quiesce waits for them
+			// so the Close below cannot cut a last frame off mid-write.
+			remaining := time.Until(deadline)
+			if remaining < time.Second {
+				remaining = time.Second
+			}
+			if sv.Quiesce(remaining) {
+				logger.Info("drain complete")
+			} else {
+				logger.Warn("drain timeout; connections still open after quiesce")
+			}
+		},
 		func() { sv.Close() },
 		func() { s.Close() },
 		func() { sampler.Stop() },

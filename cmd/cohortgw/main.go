@@ -1,0 +1,138 @@
+// Command cohortgw is the fleet front door for a sharded cohortd
+// deployment: a wire-protocol gateway that routes every session to a shard
+// via a consistent-hash ring over tenant keys, proxies frames with the
+// zero-copy codecs, and aggregates the fleet's observability planes.
+//
+// Shards are declared statically with -shards and probed continuously over
+// their /healthz endpoints: an unreachable shard or one answering 503 is
+// ejected from the ring ("down"), a shard reporting status "draining" is
+// ejected while its in-flight sessions finish ("draining") — each
+// transition lands in the gateway's /events ring as shard_up / shard_drain
+// / shard_down. An Open whose owner shard refuses (draining, admission
+// full) or cannot be dialed fails over to the next ring candidate
+// (-replicas) before the client hears anything; a shard lost mid-stream
+// surfaces as a typed CodeKilled error the client's reconnect path replays.
+//
+// The -http plane serves the fleet merged: /healthz (per-shard rows plus a
+// fleet verdict — unhealthy only when no shard is routable), /sessions and
+// /stats/slo (every shard's document, attributed), /ring (the routing
+// snapshot clients use for client-side routing via
+// client.Options.Cluster, skipping the proxy hop), /shards, /events and
+// /metrics (routing counters per shard).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"time"
+
+	"cohort"
+	"cohort/internal/cluster"
+	"cohort/internal/obsrv"
+	"cohort/internal/telem"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7410", "serve the wire protocol on this TCP address")
+		httpAddr  = flag.String("http", "", "serve the merged fleet observability plane on this address (e.g. :9120)")
+		shards    = flag.String("shards", "", "comma-separated shard list: [name=]wireaddr@httpaddr,... (required)")
+		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the consistent-hash ring")
+		replicas  = flag.Int("replicas", 2, "ring candidates an open may try before giving up (failover depth)")
+		probe     = flag.Duration("probe", time.Second, "shard health-probe period")
+		dialTO    = flag.Duration("dial-timeout", 2*time.Second, "per-shard dial timeout for proxied sessions")
+		eventsCap = flag.Int("events", 1024, "structured event ring capacity (/events)")
+		logLevel  = flag.String("log-level", "info", "log floor: debug, info, warn or error")
+	)
+	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "cohortgw: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
+	members, err := cluster.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cohortgw: %v (use -shards wireaddr@httpaddr,...)\n", err)
+		os.Exit(2)
+	}
+	if err := run(members, logger, *listen, *httpAddr, *vnodes, *replicas, *probe, *dialTO, *eventsCap); err != nil {
+		logger.Error("cohortgw exiting", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(members []cluster.Shard, logger *slog.Logger, listen, httpAddr string,
+	vnodes, replicas int, probe, dialTO time.Duration, eventsCap int) error {
+	reg := cohort.NewRegistry()
+	cohort.RegisterBuildInfo(reg, "build")
+	events := telem.NewLog(eventsCap, logger)
+
+	cat, err := cluster.NewCatalog(cluster.CatalogConfig{
+		Shards: members, VNodes: vnodes, Interval: probe,
+		Events: events, Log: logger,
+	})
+	if err != nil {
+		return err
+	}
+	cat.Start()
+
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Catalog: cat, Replicas: replicas, DialTimeout: dialTO,
+		Registry: reg, Log: logger,
+	})
+	if err != nil {
+		cat.Stop()
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		cat.Stop()
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve(ln) }()
+
+	fleet := cluster.NewFleet(cat, dialTO)
+	var web *obsrv.Server
+	if httpAddr != "" {
+		web = obsrv.New(obsrv.Options{
+			MetricsText: reg.WritePrometheus,
+			Health:      fleet.Health,
+			Sessions:    fleet.Sessions,
+			SLOStats:    fleet.SLO,
+			Events:      func(since uint64, max int) any { return events.PageSince(since, max) },
+			Ring:        func() any { return cat.Snapshot() },
+			Shards:      func() any { return cat.Snapshot().Shards },
+		})
+		if err := web.Serve(httpAddr); err != nil {
+			gw.Close()
+			cat.Stop()
+			return err
+		}
+		logger.Info("fleet observability plane up", "addr", web.Addr(),
+			"endpoints", "/metrics /healthz /sessions /stats/slo /ring /shards /events")
+	}
+
+	obsrv.AwaitShutdown(
+		fmt.Sprintf("routing %d shards on %s (ring: %d vnodes, %d-way failover) until interrupted (Ctrl-C)",
+			len(members), ln.Addr(), vnodes, replicas),
+		func() { gw.Close() },
+		func() { cat.Stop() },
+		func() {
+			if web != nil {
+				web.Close()
+			}
+		},
+	)
+	if err := <-serveErr; !errors.Is(err, cluster.ErrGatewayClosed) {
+		return err
+	}
+	return nil
+}

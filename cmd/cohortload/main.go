@@ -34,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,7 +48,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cohortload: ")
 	var cfg runConfig
-	flag.StringVar(&cfg.addr, "addr", "", "drive an external daemon at this address (empty: spawn one in-process)")
+	flag.StringVar(&cfg.addr, "addr", "", "drive external daemons: one address (a cohortd, or a cohortgw front door) or a comma-separated shard list to spread sessions round-robin (empty: spawn one in-process)")
 	flag.StringVar(&cfg.accel, "accel", "echo", "accelerator to open sessions on (spawned daemons add \"echo\" with -block geometry)")
 	flag.IntVar(&cfg.block, "block", 64, "echo accelerator block size in words (spawned daemons only)")
 	flag.IntVar(&cfg.tenants, "tenants", 4, "concurrent tenant sessions")
@@ -230,6 +231,19 @@ type runResult struct {
 	// end-to-end block quantiles splits latency into server-resident vs
 	// network + client-side cost.
 	ServerStages *serverStages `json:"server_stages,omitempty"`
+	// Shards attributes the run per target address when -addr named more
+	// than one daemon — the fleet view: aggregate goodput above, who served
+	// what below.
+	Shards []shardGoodput `json:"shards,omitempty"`
+}
+
+// shardGoodput is one target daemon's slice of a multi-address run.
+type shardGoodput struct {
+	Addr           string  `json:"addr"`
+	Sessions       int     `json:"sessions"`
+	Blocks         uint64  `json:"blocks"`
+	Words          uint64  `json:"words"`
+	GoodputMiBPerS float64 `json:"goodput_mib_per_s"`
 }
 
 // stageAgg is one stage aggregated across every tenant session of a run:
@@ -351,14 +365,18 @@ type batchRec struct {
 // and the client's legacy codec, so the pair measured is the honest
 // pre-change stack.
 func oneRun(cfg runConfig, legacy bool) (runResult, error) {
-	addr := cfg.addr
-	if addr == "" {
+	// -addr may name several daemons (a shard fleet driven directly): workers
+	// spread round-robin so every shard sees load and the report attributes
+	// goodput per shard. One address — a single daemon or a gateway — is the
+	// degenerate case of the same path.
+	addrs := splitAddrs(cfg.addr)
+	if len(addrs) == 0 {
 		a, stop, err := spawnDaemon(cfg, legacy)
 		if err != nil {
 			return runResult{}, err
 		}
 		defer stop()
-		addr = a
+		addrs = []string{a}
 	}
 
 	mode := "batched"
@@ -375,6 +393,10 @@ func oneRun(cfg runConfig, legacy bool) (runResult, error) {
 		blocks   uint64
 		timings  []*wire.TelemetryReply
 	)
+	tallies := make(map[string]*shardGoodput, len(addrs))
+	for _, a := range addrs {
+		tallies[a] = &shardGoodput{Addr: a}
+	}
 	start := time.Now()
 	perSess := cfg.rate / float64(cfg.tenants)
 	for i := 0; i < cfg.tenants; i++ {
@@ -382,7 +404,7 @@ func oneRun(cfg runConfig, legacy bool) (runResult, error) {
 		go func(i int) {
 			defer wg.Done()
 			w := &worker{
-				cfg: cfg, addr: addr, legacy: legacy,
+				cfg: cfg, addr: addrs[i%len(addrs)], legacy: legacy,
 				tenant: fmt.Sprintf("load-%d", i),
 				rng:    rand.New(rand.NewSource(cfg.seed + int64(i))),
 				rate:   perSess,
@@ -397,6 +419,10 @@ func oneRun(cfg runConfig, legacy bool) (runResult, error) {
 			sessLat = append(sessLat, int64(w.sessDur))
 			words += w.words
 			blocks += w.blocks
+			t := tallies[w.addr]
+			t.Sessions++
+			t.Blocks += w.blocks
+			t.Words += w.words
 			if w.timing != nil {
 				timings = append(timings, w.timing)
 			}
@@ -419,6 +445,15 @@ func oneRun(cfg runConfig, legacy bool) (runResult, error) {
 		SessionP50ms:     round4(quantUS(sessLat, 0.50) / 1e3),
 		SessionP99ms:     round4(quantUS(sessLat, 0.99) / 1e3),
 		ServerStages:     aggregateStages(timings),
+	}
+	if len(addrs) > 1 {
+		// Fleet attribution: per-shard goodput next to the aggregate, in the
+		// order the shards were named.
+		for _, a := range addrs {
+			t := tallies[a]
+			t.GoodputMiBPerS = round2(float64(t.Words) * 8 / (1 << 20) / elapsed.Seconds())
+			res.Shards = append(res.Shards, *t)
+		}
 	}
 	// benchstat-compatible: one line per run, ns/op is per block served.
 	coalesce := cfg.coalesce
@@ -444,7 +479,22 @@ func oneRun(cfg runConfig, legacy bool) (runResult, error) {
 		fmt.Printf("    %-8s mean %9.2f us   vs e2e block p50 %.2f us / p99 %.2f us\n",
 			"server", sg.ServerMeanUs, res.BlockP50us, res.BlockP99us)
 	}
+	for _, t := range res.Shards {
+		fmt.Printf("  shard %-24s sessions %3d  blocks %10d  %8.2f MiB/s\n",
+			t.Addr, t.Sessions, t.Blocks, t.GoodputMiBPerS)
+	}
 	return res, nil
+}
+
+// splitAddrs parses the -addr list, dropping empty entries.
+func splitAddrs(spec string) []string {
+	var out []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 type worker struct {

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"cohort/internal/obsrv"
+)
+
+// This file is the fleet's merged observability plane: cohortgw answers the
+// same /healthz, /sessions and /stats/slo endpoints a single cohortd does,
+// but each document is the whole fleet with per-shard attribution — an
+// operator watches one address and still sees exactly which shard a
+// session, an SLO verdict, or a health problem belongs to.
+//
+// Health comes from the catalog's probe cache (no extra request — it is the
+// same observation routing already acts on, so what /healthz shows is what
+// the ring is doing). Sessions and SLO verdicts are fetched live on demand:
+// they change block-by-block, and a stale cache would misattribute work
+// during exactly the rolling-restart windows this layer exists to observe.
+
+// Fleet aggregates per-shard observability documents for a gateway.
+type Fleet struct {
+	cat    *Catalog
+	client *http.Client
+}
+
+// NewFleet builds an aggregator over cat. Timeout bounds each per-shard
+// fetch (default 2s).
+func NewFleet(cat *Catalog, timeout time.Duration) *Fleet {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &Fleet{cat: cat, client: &http.Client{Timeout: timeout}}
+}
+
+// Health renders the fleet as obsrv.Health rows: one per shard plus a
+// summary row. A down or draining shard degrades the gateway (still 200 —
+// the gateway itself is serving, routing around the problem); only a fleet
+// with zero routable shards makes the gateway unhealthy, because then it
+// cannot admit anything.
+func (f *Fleet) Health() []obsrv.Health {
+	rows := f.cat.shardRows()
+	out := make([]obsrv.Health, 0, len(rows)+1)
+	healthy := 0
+	for _, r := range rows {
+		h := obsrv.Health{Name: "shard/" + r.Name}
+		switch r.State {
+		case StateHealthy:
+			healthy++
+		case StateDraining:
+			h.Degraded = "draining"
+		case StateDown:
+			h.Degraded = "down: " + r.Err
+		}
+		out = append(out, h)
+	}
+	fleet := obsrv.Health{Name: "fleet"}
+	if healthy == 0 {
+		fleet.Err = "no healthy shards"
+	}
+	return append(out, fleet)
+}
+
+// ShardDoc is one shard's slice of a merged fleet document: identity, the
+// catalog's live view of it, and the shard's own JSON body (verbatim) or
+// the fetch error that replaced it.
+type ShardDoc struct {
+	Shard string `json:"shard"`
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Err is the fetch failure for this shard, if the body is absent. A
+	// down shard is listed with its state and no body rather than dropped —
+	// absence of data is itself the signal during an incident.
+	Err  string          `json:"err,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Sessions returns the merged /sessions document: every shard's live
+// session list, attributed. (e.g. wired as obsrv Options.Sessions.)
+func (f *Fleet) Sessions() any { return f.fanout("/sessions") }
+
+// SLO returns the merged /stats/slo document: every shard's SLO evaluation,
+// attributed. (e.g. wired as obsrv Options.SLOStats.)
+func (f *Fleet) SLO() any { return f.fanout("/stats/slo") }
+
+// fanout fetches path from every shard concurrently and returns the rows in
+// the catalog's static shard order.
+func (f *Fleet) fanout(path string) []ShardDoc {
+	rows := f.cat.shardRows()
+	docs := make([]ShardDoc, len(rows))
+	var wg sync.WaitGroup
+	for i, r := range rows {
+		docs[i] = ShardDoc{Shard: r.Name, Addr: r.Addr, State: r.State}
+		if r.HTTP == "" {
+			docs[i].Err = "no observability address configured"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, httpAddr string) {
+			defer wg.Done()
+			body, err := f.get(httpAddr, path)
+			if err != nil {
+				docs[i].Err = err.Error()
+				return
+			}
+			docs[i].Body = body
+		}(i, r.HTTP)
+	}
+	wg.Wait()
+	return docs
+}
+
+// get fetches one shard endpoint, validating that the body is JSON so a
+// misconfigured address cannot corrupt the merged document.
+func (f *Fleet) get(httpAddr, path string) (json.RawMessage, error) {
+	resp, err := f.client.Get("http://" + httpAddr + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard returned status %d for %s", resp.StatusCode, path)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	if !json.Valid(body) {
+		return nil, fmt.Errorf("shard returned a non-JSON body for %s", path)
+	}
+	return json.RawMessage(body), nil
+}

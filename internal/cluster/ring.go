@@ -1,0 +1,282 @@
+// Package cluster is the fleet layer over cohortd: a consistent-hash ring
+// that assigns tenant keys to shards, a catalog that health-probes the fleet
+// and ejects dying or draining shards, a wire-protocol gateway that routes
+// each session to its shard and proxies frames with the zero-copy codecs,
+// and fleet-level aggregation of the per-shard observability planes.
+//
+// The design splits routing *policy* from routing *mechanism*. Policy is the
+// ring: a pure, deterministic function from the current healthy shard set to
+// a key→shard map, cheap enough to rebuild on every membership change and to
+// reconstruct client-side from a /ring snapshot. Mechanism is either the
+// gateway (clients dial one front door, the gateway proxies) or the client
+// itself (fetch the snapshot, dial the shard directly, skip the proxy hop) —
+// both walk the same failover candidate order, so a shard's death or drain
+// looks identical through either path.
+//
+// Nothing migrates between shards. A session lives and dies on the shard
+// that admitted it; failover means the *client* replays its residual input
+// on a new session routed to a survivor — the same reconnect contract the
+// wire protocol's typed errors already gave single-daemon clients.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per shard when a Ring or Catalog
+// is built with vnodes <= 0. 128 points per shard keeps the expected load
+// imbalance across a small fleet within a few percent while a full rebuild
+// stays microseconds.
+const DefaultVNodes = 128
+
+// fnv1a is FNV-1a over the key bytes with a murmur-style finalizer — an
+// allocation-free, dependency-free 64-bit hash. The ring needs speed and
+// determinism, not cryptographic strength: the same shard names must always
+// produce the same ring, on every node of the fleet and in every client,
+// forever.
+//
+// The finalizer is load-bearing. Raw FNV-1a barely avalanches its last
+// byte: keys differing only in the final character ("load-0".."load-9", the
+// natural shape of tenant names) end up within a few multiples of the FNV
+// prime of each other — a vanishing arc of the 2^64 circle, all owned by
+// one virtual node, i.e. every tenant on one shard. fmix64 spreads that
+// cluster across the whole circle.
+func fnv1a(parts ...string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime
+		}
+	}
+	return fmix64(h)
+}
+
+// fmix64 is MurmurHash3's 64-bit finalization mix: full avalanche, so a
+// one-bit input change flips each output bit with ~1/2 probability.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// point is one virtual node: a position on the hash circle and the index of
+// the shard that owns the arc ending there.
+type point struct {
+	hash  uint64
+	shard int32
+}
+
+// Ring is an immutable consistent-hash ring over a set of shard names. Each
+// shard projects vnodes points onto a 64-bit hash circle; a key belongs to
+// the shard owning the first point at or after the key's hash (wrapping).
+// Because points are a pure function of shard names, two rings built from
+// the same membership are identical — there is no seed, no insertion-order
+// dependence, and no state to gossip beyond the member list itself.
+//
+// Membership changes are handled by building a new Ring: removing a shard
+// deletes only that shard's points, so only the keys in its arcs remap (the
+// ~K/N consistent-hashing guarantee); every other key keeps its owner.
+type Ring struct {
+	vnodes int
+	shards []string // sorted, deduplicated
+	points []point  // sorted by hash
+}
+
+// NewRing builds a ring over shards (deduplicated; order irrelevant) with
+// the given virtual-node count per shard (<= 0 means DefaultVNodes). An
+// empty shard set yields a ring whose lookups return nothing.
+func NewRing(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(shards))
+	seen := make(map[string]struct{}, len(shards))
+	for _, s := range shards {
+		if _, ok := seen[s]; ok || s == "" {
+			continue
+		}
+		seen[s] = struct{}{}
+		uniq = append(uniq, s)
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, shards: uniq, points: make([]point, 0, len(uniq)*vnodes)}
+	for si, name := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:  fnv1a(name, "#", strconv.Itoa(v)),
+				shard: int32(si),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by shard index so the ring
+		// stays a pure function of membership.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Len returns the number of member shards.
+func (r *Ring) Len() int { return len(r.shards) }
+
+// Shards returns the member shard names, sorted. The slice is shared; do
+// not mutate.
+func (r *Ring) Shards() []string { return r.shards }
+
+// VNodes returns the virtual-node count per shard.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// find returns the index of the first point at or after h, wrapping to 0.
+func (r *Ring) find(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Lookup returns the shard owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.shards[r.points[r.find(fnv1a(key))].shard]
+}
+
+// LookupN returns up to n distinct shards for key in failover order: the
+// owner first, then the next distinct shards walking clockwise from the
+// key's position. Routing tiers try these in order when the owner is down
+// or refuses (draining, admission-full), which keeps a key's failover
+// target as stable as its owner.
+func (r *Ring) LookupN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.shards) {
+		n = len(r.shards)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int32]struct{}, n)
+	start := r.find(fnv1a(key))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, ok := seen[p.shard]; ok {
+			continue
+		}
+		seen[p.shard] = struct{}{}
+		out = append(out, r.shards[p.shard])
+	}
+	return out
+}
+
+// RingSnapshot is the serialized routing state served on /ring: enough for
+// a client to rebuild the healthy ring locally and dial shards directly,
+// skipping the gateway's proxy hop. Version increments on every catalog
+// rebuild so pollers can cheap-check for membership changes.
+type RingSnapshot struct {
+	Version uint64      `json:"version"`
+	VNodes  int         `json:"vnodes"`
+	Shards  []ShardInfo `json:"shards"`
+}
+
+// ShardInfo is one shard's row in a RingSnapshot or /shards document.
+type ShardInfo struct {
+	Name string `json:"name"`
+	// Addr is the shard's wire-protocol address.
+	Addr string `json:"addr"`
+	// HTTP is the shard's observability address ("" if unknown).
+	HTTP string `json:"http,omitempty"`
+	// State is "healthy", "draining" or "down". Only healthy shards are
+	// ring members; the others are listed so operators see the whole fleet.
+	State string `json:"state"`
+	// Err is the last probe failure for a down shard.
+	Err string `json:"err,omitempty"`
+}
+
+// Route rebuilds the healthy ring from the snapshot and returns up to n
+// candidate shards for key in failover order — the client-side twin of
+// Catalog.Route.
+func (sn *RingSnapshot) Route(key string, n int) []ShardInfo {
+	healthy := make([]string, 0, len(sn.Shards))
+	byName := make(map[string]ShardInfo, len(sn.Shards))
+	for _, sh := range sn.Shards {
+		byName[sh.Name] = sh
+		if sh.State == StateHealthy {
+			healthy = append(healthy, sh.Name)
+		}
+	}
+	names := NewRing(healthy, sn.VNodes).LookupN(key, n)
+	out := make([]ShardInfo, 0, len(names))
+	for _, name := range names {
+		out = append(out, byName[name])
+	}
+	return out
+}
+
+// ParseShards parses a -shards flag value: comma-separated entries of the
+// form "wireaddr@httpaddr" or "name=wireaddr@httpaddr" (the @httpaddr part
+// optional — a shard without an observability address is never probed
+// healthy, so in practice every entry should carry one).
+func ParseShards(spec string) ([]Shard, error) {
+	var out []Shard
+	for _, entry := range splitNonEmpty(spec, ',') {
+		name, rest := "", entry
+		if i := indexByte(entry, '='); i >= 0 {
+			name, rest = entry[:i], entry[i+1:]
+		}
+		addr, httpAddr := rest, ""
+		if i := indexByte(rest, '@'); i >= 0 {
+			addr, httpAddr = rest[:i], rest[i+1:]
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: shard entry %q has no wire address", entry)
+		}
+		if name == "" {
+			name = addr
+		}
+		out = append(out, Shard{Name: name, Addr: addr, HTTP: httpAddr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no shards in %q", spec)
+	}
+	return out, nil
+}
+
+func splitNonEmpty(s string, sep byte) []string {
+	var out []string
+	for len(s) > 0 {
+		i := indexByte(s, sep)
+		var part string
+		if i < 0 {
+			part, s = s, ""
+		} else {
+			part, s = s[:i], s[i+1:]
+		}
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

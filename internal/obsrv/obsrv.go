@@ -55,6 +55,11 @@ type Health struct {
 	// /healthz stays 200 with status "degraded" so orchestrators keep the
 	// process alive while operators see the damage report.
 	Degraded string `json:"degraded,omitempty"`
+	// Draining says the component is in drain mode for a rolling restart:
+	// it admits nothing new but is still flushing in-flight work. /healthz
+	// stays 200 with status "draining" until the last session retires, so
+	// routing tiers eject the shard while its clients finish cleanly.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // Healthy reports whether this component is live: not stalled and not
@@ -86,6 +91,17 @@ type Options struct {
 	// Events pages the structured event ring for /events: events with
 	// sequence numbers after since, at most max (e.g. telem.Log.PageSince).
 	Events func(since uint64, max int) any
+	// Drain serves /drain: a POST invokes it with trigger=true (start
+	// draining — stop admitting, flush in-flight sessions), a GET with
+	// trigger=false; either way the returned drain-progress document is
+	// marshaled as JSON (e.g. sched.DrainStatus).
+	Drain func(trigger bool) any
+	// Ring serves /ring: the cluster routing snapshot clients use for
+	// client-side shard routing (e.g. cluster.Catalog.Snapshot).
+	Ring func() any
+	// Shards serves /shards: the shard catalog with per-shard probe state
+	// (cohortgw).
+	Shards func() any
 }
 
 // eventsDefaultMax bounds an /events page when the request has no max
@@ -122,6 +138,9 @@ func New(opts Options) *Server {
 	mux.HandleFunc("/stats/slo", s.slo)
 	mux.HandleFunc("/stats/windows", s.windows)
 	mux.HandleFunc("/events", s.events)
+	mux.HandleFunc("/drain", s.drain)
+	mux.HandleFunc("/ring", s.ring)
+	mux.HandleFunc("/shards", s.shards)
 	mux.HandleFunc("/", s.index)
 	// net/http/pprof registers on DefaultServeMux at import; wire the
 	// handlers explicitly so this mux works standalone.
@@ -232,16 +251,26 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Health != nil {
 		body.Engines = s.opts.Health()
 	}
+	// Severity order: unhealthy (503) beats draining beats degraded; the
+	// latter two are both 200 — a draining or degraded daemon is still
+	// serving, routing tiers read the status string to decide ejection.
 	code := http.StatusOK
+	degraded := false
 	for _, h := range body.Engines {
 		if !h.Healthy() {
 			body.Status = "unhealthy"
 			code = http.StatusServiceUnavailable
 			break
 		}
-		if h.Degraded != "" {
-			body.Status = "degraded" // still 200: degraded-but-alive
+		if h.Draining {
+			body.Status = "draining"
 		}
+		if h.Degraded != "" {
+			degraded = true
+		}
+	}
+	if body.Status == "ok" && degraded {
+		body.Status = "degraded" // still 200: degraded-but-alive
 	}
 	writeJSON(w, code, body)
 }
@@ -307,6 +336,41 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.opts.Events(since, max))
 }
 
+// drain serves the drain-progress document and, on POST, triggers drain
+// mode: the rolling-restart entry point an orchestrator hits before sending
+// SIGTERM. GET is a pure status read.
+func (s *Server) drain(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Drain == nil {
+		http.NotFound(w, r)
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		writeJSON(w, http.StatusOK, s.opts.Drain(true))
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.opts.Drain(false))
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "use POST to trigger drain, GET to read progress", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) ring(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Ring == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.opts.Ring())
+}
+
+func (s *Server) shards(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Shards == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.opts.Shards())
+}
+
 // index is a minimal landing page listing the endpoints.
 func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -314,7 +378,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "cohort observability\n\n/metrics\n/healthz\n/trace\n/sessions\n/stats/latency\n/stats/slo\n/stats/windows\n/events\n/debug/pprof/\n") //nolint:errcheck
+	io.WriteString(w, "cohort observability\n\n/metrics\n/healthz\n/trace\n/sessions\n/stats/latency\n/stats/slo\n/stats/windows\n/events\n/drain\n/ring\n/shards\n/debug/pprof/\n") //nolint:errcheck
 }
 
 // AwaitShutdown is the shared daemon exit path: print banner (when

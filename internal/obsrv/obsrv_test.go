@@ -338,3 +338,100 @@ func TestMetricsScrapeSelfMetrics(t *testing.T) {
 		t.Errorf("second scrape should report the first scrape's nonzero duration:\n%s", body)
 	}
 }
+
+// TestHealthzDrainingStatus: a draining engine row flips the status string
+// to "draining" while the code stays 200 — routing tiers eject on the
+// string, load balancers keep the probe green until the process exits.
+func TestHealthzDrainingStatus(t *testing.T) {
+	s := New(Options{Health: func() []Health {
+		return []Health{{Name: "sched", Draining: true}, {Name: "srv"}}
+	}})
+	rec, body := get(t, s.Handler(), "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("draining /healthz status = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(body, `"status": "draining"`) {
+		t.Errorf("draining /healthz body = %s", body)
+	}
+
+	// Unhealthy outranks draining: a stalled engine makes the whole body 503
+	// even while drain mode is on.
+	s = New(Options{Health: func() []Health {
+		return []Health{{Name: "sched", Draining: true}, {Name: "eng", Err: "stalled"}}
+	}})
+	rec, body = get(t, s.Handler(), "/healthz")
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(body, `"status": "unhealthy"`) {
+		t.Errorf("unhealthy+draining = %d %s, want 503 unhealthy", rec.Code, body)
+	}
+
+	// Draining outranks degraded.
+	s = New(Options{Health: func() []Health {
+		return []Health{{Name: "sched", Draining: true}, {Name: "eng", Degraded: "slow"}}
+	}})
+	_, body = get(t, s.Handler(), "/healthz")
+	if !strings.Contains(body, `"status": "draining"`) {
+		t.Errorf("draining+degraded body = %s, want draining", body)
+	}
+}
+
+// TestDrainEndpoint: POST triggers, GET only reads, other methods are 405,
+// and an unwired /drain is 404.
+func TestDrainEndpoint(t *testing.T) {
+	triggers := 0
+	s := New(Options{Drain: func(trigger bool) any {
+		if trigger {
+			triggers++
+		}
+		return map[string]any{"draining": triggers > 0, "triggers": triggers}
+	}})
+	h := s.Handler()
+
+	if rec, body := get(t, h, "/drain"); rec.Code != http.StatusOK || !strings.Contains(body, `"draining": false`) {
+		t.Fatalf("GET /drain before trigger = %d %s", rec.Code, body)
+	}
+	if triggers != 0 {
+		t.Fatal("GET /drain triggered a drain")
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/drain", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"draining": true`) {
+		t.Fatalf("POST /drain = %d %s", rec.Code, rec.Body.String())
+	}
+	if triggers != 1 {
+		t.Fatalf("POST /drain ran %d triggers, want 1", triggers)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/drain", nil))
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") != "GET, POST" {
+		t.Fatalf("DELETE /drain = %d Allow=%q, want 405 with GET, POST", rec.Code, rec.Header().Get("Allow"))
+	}
+
+	if rec, _ := get(t, New(Options{}).Handler(), "/drain"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unwired /drain = %d, want 404", rec.Code)
+	}
+}
+
+// TestRingAndShardsEndpoints: both serve their provider's JSON when wired
+// and 404 when not — single-daemon deployments never grow phantom cluster
+// endpoints.
+func TestRingAndShardsEndpoints(t *testing.T) {
+	s := New(Options{
+		Ring:   func() any { return map[string]any{"version": 7} },
+		Shards: func() any { return []map[string]any{{"name": "s0", "state": "healthy"}} },
+	})
+	h := s.Handler()
+	if rec, body := get(t, h, "/ring"); rec.Code != http.StatusOK || !strings.Contains(body, `"version": 7`) {
+		t.Fatalf("/ring = %d %s", rec.Code, body)
+	}
+	if rec, body := get(t, h, "/shards"); rec.Code != http.StatusOK || !strings.Contains(body, `"state": "healthy"`) {
+		t.Fatalf("/shards = %d %s", rec.Code, body)
+	}
+	bare := New(Options{}).Handler()
+	for _, path := range []string{"/ring", "/shards"} {
+		if rec, _ := get(t, bare, path); rec.Code != http.StatusNotFound {
+			t.Errorf("unwired %s = %d, want 404", path, rec.Code)
+		}
+	}
+}

@@ -27,6 +27,7 @@ const (
 	eventSessionKill     = "session_kill"
 	eventTerminalFault   = "terminal_fault"
 	eventAdmissionReject = "admission_reject"
+	eventDrain           = "drain"
 )
 
 // emit forwards one transition to the configured sink, if any. Only failure

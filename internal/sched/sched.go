@@ -58,6 +58,10 @@ var (
 	// ErrKilled: the session was torn down by Kill (e.g. its connection
 	// dropped) before its stream finished.
 	ErrKilled = errors.New("sched: session killed")
+	// ErrDraining: the scheduler is draining for a rolling restart — it no
+	// longer admits sessions but keeps serving the ones in flight until they
+	// flush their Done frames.
+	ErrDraining = errors.New("sched: draining")
 )
 
 // Config tunes a Scheduler. The zero value serves with one engine worker,
@@ -351,9 +355,18 @@ type Scheduler struct {
 
 	mu       sync.Mutex
 	closed   bool
+	draining bool
 	nextID   uint64
 	vtime    float64 // virtual time: pass of the most recently dispatched session
 	sessions map[uint64]*Session
+
+	// drained closes (via drainedOnce) when the scheduler is draining and the
+	// last live session has retired — the rolling-restart barrier cohortd's
+	// SIGTERM path waits on. Close() closes it too, so a waiter never hangs
+	// on a scheduler that was torn down instead of drained.
+	drained      chan struct{}
+	drainedOnce  sync.Once
+	drainRejects atomic.Uint64
 
 	// tenantLat and tenantTot map tenant name → persistent per-tenant
 	// aggregates (latency.go, events.go); entries accumulate across session
@@ -432,6 +445,7 @@ func New(cfg Config) *Scheduler {
 		cfg:       cfg,
 		stop:      make(chan struct{}),
 		kick:      make(chan struct{}, 1),
+		drained:   make(chan struct{}),
 		sessions:  make(map[uint64]*Session),
 		tenantLat: make(map[string]*stageSet),
 		tenantTot: make(map[string]*tenantTotals),
@@ -448,8 +462,14 @@ func New(cfg Config) *Scheduler {
 		cfg.Registry.Register("sched", func() []cohort.Metric {
 			s.mu.Lock()
 			live := uint64(len(s.sessions))
+			draining := uint64(0)
+			if s.draining {
+				draining = 1
+			}
 			s.mu.Unlock()
 			return []cohort.Metric{
+				{Name: "draining", Value: draining},
+				{Name: "drain_rejected", Value: s.drainRejects.Load()},
 				{Name: "decisions", Value: s.decisions.Load()},
 				{Name: "swaps", Value: s.swaps.Load()},
 				{Name: "admitted", Value: s.admitted.Load()},
@@ -522,6 +542,12 @@ func (s *Scheduler) Register(cfg SessionConfig) (*Session, error) {
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if s.draining {
+		live := len(s.sessions)
+		s.drainRejects.Add(1)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d sessions flushing)", ErrDraining, live)
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.rejections.Add(1)
@@ -603,6 +629,63 @@ func (s *Scheduler) Kill(id uint64) bool {
 	return true
 }
 
+// Drain puts the scheduler into drain mode for a rolling restart: Register
+// refuses new sessions with ErrDraining while every in-flight session keeps
+// its engine shares and flushes to a normal Done. The Drained channel closes
+// once the last live session retires. Idempotent; there is no undrain — a
+// draining daemon's next state is exit.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	first := !s.draining && !s.closed
+	s.draining = true
+	empty := len(s.sessions) == 0
+	s.mu.Unlock()
+	if first {
+		s.emit(eventDrain, "", 0, "drain started: admission stopped, in-flight sessions flushing")
+	}
+	if empty {
+		s.drainedOnce.Do(func() { close(s.drained) })
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drained returns a channel closed once the scheduler is draining (or
+// closed) and no live session remains — the barrier a rolling restart waits
+// on before exiting the process.
+func (s *Scheduler) Drained() <-chan struct{} { return s.drained }
+
+// DrainStatus is the drain-progress document served by POST/GET /drain.
+type DrainStatus struct {
+	Draining bool `json:"draining"`
+	// Live is how many admitted sessions are still flushing.
+	Live int `json:"live_sessions"`
+	// Drained means drain mode is on and the last session has retired: the
+	// process can exit without failing any client.
+	Drained bool `json:"drained"`
+	// Rejected counts Opens refused with ErrDraining since drain began.
+	Rejected uint64 `json:"rejected,omitempty"`
+}
+
+// DrainStatus snapshots drain progress.
+func (s *Scheduler) DrainStatus() DrainStatus {
+	s.mu.Lock()
+	draining := s.draining
+	live := len(s.sessions)
+	s.mu.Unlock()
+	return DrainStatus{
+		Draining: draining,
+		Live:     live,
+		Drained:  draining && live == 0,
+		Rejected: s.drainRejects.Load(),
+	}
+}
+
 // Sessions snapshots every live session, sorted by id — the /sessions
 // payload.
 func (s *Scheduler) Sessions() []SessionInfo {
@@ -653,6 +736,9 @@ func (s *Scheduler) Close() {
 			ss.fail(ErrClosed)
 			s.retire(ss)
 		}
+		// A closed scheduler is trivially drained: never leave a rolling
+		// restart hanging on the Drained barrier after a hard Close.
+		s.drainedOnce.Do(func() { close(s.drained) })
 		if s.cfg.Registry != nil {
 			s.cfg.Registry.Unregister("sched")
 			s.mu.Lock()
@@ -767,10 +853,16 @@ func (s *Scheduler) retire(ss *Session) {
 	ss.serving = false
 	delete(s.sessions, ss.id)
 	s.retirals.Add(1)
+	lastOut := s.draining && len(s.sessions) == 0
 	if s.schedTrk != nil {
 		s.schedTrk.Instant("retire:" + ss.tenant)
 	}
 	s.mu.Unlock()
+	if lastOut {
+		// Drain barrier: this was the last in-flight session of a draining
+		// scheduler — the rolling restart may proceed.
+		s.drainedOnce.Do(func() { close(s.drained) })
+	}
 	if s.cfg.Registry != nil {
 		s.cfg.Registry.Unregister(ss.metricName)
 	}

@@ -139,6 +139,35 @@ func (sv *Server) Close() error {
 	return err
 }
 
+// Quiesce stops accepting new connections and waits up to timeout for the
+// in-flight handlers to finish on their own. It is the wire-level half of a
+// drain: Scheduler.Drained says every session *retired*, but the handler
+// may still be writing that session's final Done frame — a Close at that
+// instant cuts the frame off mid-write and the client sees a lost
+// connection instead of its stats. Quiesce closes nothing; handlers exit
+// naturally once the final frame is flushed (the writer closes the
+// connection, unblocking the reader). A handler that outlives the timeout —
+// e.g. an idle connection that never opened a session — is left for Close
+// to kill. Reports whether every handler finished.
+func (sv *Server) Quiesce(timeout time.Duration) bool {
+	sv.mu.Lock()
+	sv.closed = true
+	ln := sv.ln
+	sv.ln = nil // Quiesce owns the close; a later Close must not re-close
+	sv.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	idle := make(chan struct{})
+	go func() { sv.wg.Wait(); close(idle) }()
+	select {
+	case <-idle:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
 func (sv *Server) forget(c net.Conn) {
 	sv.mu.Lock()
 	delete(sv.conns, c)
@@ -202,6 +231,8 @@ func (sv *Server) handle(c net.Conn) {
 		switch {
 		case errors.Is(err, ErrTooManySessions):
 			code = wire.CodeAdmission
+		case errors.Is(err, ErrDraining):
+			code = wire.CodeDraining
 		case errors.Is(err, ErrClosed):
 			code = wire.CodeClosed
 		}

@@ -25,6 +25,12 @@ const (
 	EventWatchdogStall   = "watchdog_stall"
 	EventWatchdogRecover = "watchdog_recover"
 	EventAdmissionReject = "admission_reject"
+	// Cluster-era events: a daemon entering drain mode (internal/sched) and
+	// the gateway catalog's shard health transitions (internal/cluster).
+	EventDrain      = "drain"
+	EventShardUp    = "shard_up"
+	EventShardDrain = "shard_drain"
+	EventShardDown  = "shard_down"
 )
 
 // Event is one structured entry in the event log. Seq is assigned at append

@@ -157,6 +157,11 @@ const (
 	CodeFault = "fault"
 	// CodeClosed: the server is shutting down.
 	CodeClosed = "closed"
+	// CodeDraining: the daemon is draining for a rolling restart — it has
+	// stopped admitting sessions but is still flushing the ones in flight.
+	// Immediately retryable on another shard: unlike CodeAdmission there is
+	// nothing to wait for here, the client should simply go elsewhere.
+	CodeDraining = "draining"
 )
 
 // ErrorReply rejects an Open (admission control, unknown accelerator, bad
