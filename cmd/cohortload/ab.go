@@ -1,0 +1,368 @@
+// The -ab harness: static-vs-adaptive scheduler orchestration over the SAME
+// Poisson trace (same per-tenant seeds, same mix, same send window), so the
+// only degree of freedom between runs is whether the policy controller is
+// closing the loop. The workload is deliberately skewed — the mix no single
+// static knob setting serves well:
+//
+//   - latency tenants (even indexes): small blocks (16 words) over a paced
+//     Poisson arrival process, opened with an echo CSR that overrides the
+//     daemon's block geometry per session;
+//   - throughput tenants (odd indexes): the daemon's -block geometry at
+//     saturation (unthrottled open loop).
+//
+// Both daemons run the identical stack — registry, sampler, event ring, the
+// same -switch-cost and starting -quantum — except the adaptive one also
+// runs internal/policy over the sampler's frames. The controller's arm 0 IS
+// the static configuration, so the bandit starts where the static run is
+// pinned and must discover the better arms online; with a non-zero
+// -switch-cost a small static quantum pays the modeled CSR-swap on every
+// session switch and the gap is large. The report (BENCH_adaptive.json)
+// records both goodputs, the adaptive/static ratio, and the controller's
+// full /policy document (arms, reward estimates, switch history) — CI gates
+// on adaptive >= static and at least one policy_switch.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cohort"
+	"cohort/internal/policy"
+	"cohort/internal/sched"
+	"cohort/internal/telem"
+)
+
+// Latency-tenant geometry: one small block per paced arrival.
+const (
+	abLatBlock  = 16    // words per latency-tenant block (echo CSR override)
+	abLatRateHz = 200.0 // paced arrivals/sec per latency tenant
+)
+
+// Sampler/controller cadence: fast enough that a 2s CI smoke completes the
+// arm sweep and converges with decisions to spare.
+const (
+	abTick  = 100 * time.Millisecond
+	abShort = 500 * time.Millisecond
+	abLong  = 2 * time.Second
+)
+
+// abMode is one parsed -ab entry.
+type abMode struct {
+	label    string
+	adaptive bool
+	quantum  int // static daemon quantum (0: the -quantum flag)
+}
+
+// parseABModes parses the -ab list: "static", "static:q=N", "adaptive".
+func parseABModes(spec string) ([]abMode, error) {
+	var modes []abMode
+	for _, raw := range strings.Split(spec, ",") {
+		m := strings.TrimSpace(raw)
+		if m == "" {
+			continue
+		}
+		switch {
+		case m == "adaptive":
+			modes = append(modes, abMode{label: m, adaptive: true})
+		case m == "static":
+			modes = append(modes, abMode{label: m})
+		case strings.HasPrefix(m, "static:q="):
+			q, err := strconv.Atoi(m[len("static:q="):])
+			if err != nil || q < 1 {
+				return nil, fmt.Errorf("-ab mode %q: bad quantum", m)
+			}
+			modes = append(modes, abMode{label: m, quantum: q})
+		default:
+			return nil, fmt.Errorf("-ab mode %q: want static, static:q=N or adaptive", m)
+		}
+	}
+	if len(modes) < 2 {
+		return nil, fmt.Errorf("-ab %q: need at least two modes", spec)
+	}
+	return modes, nil
+}
+
+// harnessArms is the A/B action space. Arm 0 is the static configuration —
+// the bandit's sweep starts exactly where the static run is pinned — and
+// the remaining arms trade switch overhead for latency at increasing
+// quantum/coalesce.
+func harnessArms(staticQuantum int) []policy.Arm {
+	arms := []policy.Arm{
+		{Quantum: staticQuantum, CoalesceWords: 4096},
+		{Quantum: 64, CoalesceWords: 65536},
+		{Quantum: 256, CoalesceWords: 65536},
+	}
+	return arms
+}
+
+// abRunResult is one A/B run's row: the aggregate plus per-class latency
+// quantiles (the latency tenants are the ones an over-batched configuration
+// hurts) and, for the adaptive run, the controller's final /policy document.
+type abRunResult struct {
+	Mode             string      `json:"mode"`
+	Quantum          int         `json:"quantum"` // static pin / adaptive start
+	Blocks           uint64      `json:"blocks"`
+	Words            uint64      `json:"words"`
+	ElapsedS         float64     `json:"elapsed_s"`
+	GoodputWordsPerS float64     `json:"goodput_words_per_s"`
+	GoodputMiBPerS   float64     `json:"goodput_mib_per_s"`
+	LatBlockP50us    float64     `json:"lat_block_p50_us"`
+	LatBlockP99us    float64     `json:"lat_block_p99_us"`
+	ThrBlockP99us    float64     `json:"thr_block_p99_us"`
+	Policy           *policy.Doc `json:"policy,omitempty"`
+}
+
+// abReport is the BENCH_adaptive.json document.
+type abReport struct {
+	Benchmark     string        `json:"benchmark"`
+	GeneratedUnix int64         `json:"generated_unix"`
+	Config        reportConfig  `json:"config"`
+	Mix           abMix         `json:"mix"`
+	Runs          []abRunResult `json:"runs"`
+	// AdaptiveVsStatic is adaptive goodput over the BEST static goodput.
+	AdaptiveVsStatic float64 `json:"adaptive_vs_static,omitempty"`
+	PolicySwitches   uint64  `json:"policy_switches"`
+	// Pass: the adaptive controller matched or beat every static
+	// configuration (>= 0.95 of the best static allows measurement jitter
+	// on a converged tie) AND switched arms at least once.
+	Pass bool `json:"pass"`
+}
+
+// abMix documents the skewed tenant mix the runs shared.
+type abMix struct {
+	LatencyTenants    int     `json:"latency_tenants"`
+	LatencyBlockWords int     `json:"latency_block_words"`
+	LatencyRateHz     float64 `json:"latency_rate_hz"`
+	ThroughputTenants int     `json:"throughput_tenants"`
+	ThroughputBlock   int     `json:"throughput_block_words"`
+	SwitchCostUs      float64 `json:"switch_cost_us"`
+}
+
+// runAB is the -ab entry point: run every mode over the same trace, write
+// the report, and fail loudly when the adaptive claim does not hold.
+func runAB(cfg runConfig, spec, outPath string) error {
+	modes, err := parseABModes(spec)
+	if err != nil {
+		return err
+	}
+	var runs []abRunResult
+	for _, m := range modes {
+		r, err := abRun(cfg, m)
+		if err != nil {
+			return fmt.Errorf("ab %s: %w", m.label, err)
+		}
+		runs = append(runs, r)
+	}
+
+	report := abReport{
+		Benchmark:     "cohortload/ab",
+		GeneratedUnix: time.Now().Unix(),
+		Config: reportConfig{
+			Accel: cfg.accel, Block: cfg.block, Batch: cfg.batch, Coalesce: cfg.coalesce,
+			Tenants: cfg.tenants, RateHz: cfg.rate, DurationS: cfg.duration.Seconds(),
+			Engines: cfg.engines, Quantum: cfg.quantum, QueueCap: cfg.queueCap,
+		},
+		Mix: abMix{
+			LatencyTenants:    (cfg.tenants + 1) / 2,
+			LatencyBlockWords: abLatBlock,
+			LatencyRateHz:     abLatRateHz,
+			ThroughputTenants: cfg.tenants / 2,
+			ThroughputBlock:   cfg.block,
+			SwitchCostUs:      round2(float64(cfg.switchCost) / 1e3),
+		},
+		Runs: runs,
+	}
+	var bestStatic, adaptive float64
+	for _, r := range runs {
+		if r.Mode == "adaptive" {
+			if r.GoodputWordsPerS > adaptive {
+				adaptive = r.GoodputWordsPerS
+			}
+			if r.Policy != nil {
+				report.PolicySwitches += r.Policy.Switches
+			}
+		} else if r.GoodputWordsPerS > bestStatic {
+			bestStatic = r.GoodputWordsPerS
+		}
+	}
+	if adaptive > 0 && bestStatic > 0 {
+		report.AdaptiveVsStatic = round4(adaptive / bestStatic)
+		report.Pass = report.AdaptiveVsStatic >= 0.95 && report.PolicySwitches >= 1
+		fmt.Printf("\nadaptive vs best static: %.2fx goodput (adaptive %.1f MiB/s, static %.1f MiB/s, %d policy switches)\n",
+			report.AdaptiveVsStatic, adaptive*8/(1<<20), bestStatic*8/(1<<20), report.PolicySwitches)
+	}
+	if outPath != "" {
+		writeJSON(outPath, report)
+		fmt.Printf("report: %s\n", outPath)
+	}
+	if adaptive > 0 && bestStatic > 0 && !report.Pass {
+		return fmt.Errorf("adaptive failed to match static: ratio %.3f, %d switches",
+			report.AdaptiveVsStatic, report.PolicySwitches)
+	}
+	return nil
+}
+
+// spawnABDaemon brings up one in-process daemon for an A/B run. Static and
+// adaptive variants run the IDENTICAL stack — registry, telemetry sampler,
+// event ring, latency sampling — so the controller is the only difference
+// being measured; docFn returns nil for static daemons.
+func spawnABDaemon(cfg runConfig, m abMode) (addr string, docFn func() *policy.Doc, stop func(), err error) {
+	quantum := m.quantum
+	if quantum == 0 {
+		quantum = cfg.quantum
+	}
+	reg := cohort.NewRegistry()
+	events := telem.NewLog(256, nil)
+	s := sched.New(sched.Config{
+		Engines: cfg.engines, Quantum: quantum, QueueCap: cfg.queueCap,
+		SwitchCost: cfg.switchCost, MaxSessions: 2*cfg.tenants + 8,
+		LatencySample: 8, Registry: reg, Events: events,
+	})
+	cat := sched.DefaultCatalog()
+	blk := cfg.block
+	cat["echo"] = func() (cohort.Accelerator, error) { return newEcho(blk), nil }
+	sv := sched.NewServer(s, cat)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return "", nil, nil, err
+	}
+	go sv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on stop
+	sampler := telem.New(telem.Config{
+		Registry: reg, Tick: abTick, Short: abShort, Long: abLong, Events: events,
+	})
+	sampler.Start()
+	var ctl *policy.Controller
+	var cancel func()
+	if m.adaptive {
+		frames, c := sampler.Subscribe(1)
+		cancel = c
+		ctl = policy.New(policy.Config{
+			Sched:  s,
+			Frames: frames,
+			Arms:   harnessArms(quantum),
+			// Low epsilon: a short A/B window should spend its decisions on
+			// the sweep and exploitation, not random exploration.
+			Epsilon:  0.05,
+			Settle:   1,
+			Seed:     cfg.seed,
+			Registry: reg,
+			Events:   events,
+		})
+		ctl.Start()
+	}
+	stop = func() {
+		sv.Close()
+		s.Close()
+		if ctl != nil {
+			cancel()
+			ctl.Stop()
+		}
+		sampler.Stop()
+	}
+	docFn = func() *policy.Doc {
+		if ctl == nil {
+			return nil
+		}
+		d := ctl.Doc()
+		return &d
+	}
+	return ln.Addr().String(), docFn, stop, nil
+}
+
+// abRun drives the skewed mix against one freshly spawned daemon. Seeds are
+// per tenant index, so every mode replays the identical arrival trace.
+func abRun(cfg runConfig, m abMode) (abRunResult, error) {
+	addr, docFn, stop, err := spawnABDaemon(cfg, m)
+	if err != nil {
+		return abRunResult{}, err
+	}
+	defer stop()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		latLat   []int64 // latency-tenant block samples (ns)
+		thrLat   []int64 // throughput-tenant block samples (ns)
+		words    uint64
+		blocks   uint64
+	)
+	start := time.Now()
+	for i := 0; i < cfg.tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &worker{
+				cfg: cfg, addr: addr,
+				rng: rand.New(rand.NewSource(cfg.seed + int64(i))),
+			}
+			if i%2 == 0 {
+				// Latency tenant: small paced blocks, geometry via echo CSR.
+				w.tenant = fmt.Sprintf("lat-%d", i)
+				w.cfg.block, w.cfg.batch = abLatBlock, abLatBlock
+				w.csr = echoCSR(abLatBlock)
+				w.rate = abLatRateHz
+			} else {
+				// Throughput tenant: daemon -block geometry at saturation.
+				w.tenant = fmt.Sprintf("thr-%d", i)
+				w.rate = 0
+			}
+			err := w.run()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("tenant %s: %w", w.tenant, err)
+			}
+			if i%2 == 0 {
+				latLat = append(latLat, w.lat.vals...)
+			} else {
+				thrLat = append(thrLat, w.lat.vals...)
+			}
+			words += w.words
+			blocks += w.blocks
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return abRunResult{}, firstErr
+	}
+	elapsed := time.Since(start)
+
+	quantum := m.quantum
+	if quantum == 0 {
+		quantum = cfg.quantum
+	}
+	res := abRunResult{
+		Mode: m.label, Quantum: quantum, Blocks: blocks, Words: words,
+		ElapsedS:         round4(elapsed.Seconds()),
+		GoodputWordsPerS: round2(float64(words) / elapsed.Seconds()),
+		GoodputMiBPerS:   round2(float64(words) * 8 / (1 << 20) / elapsed.Seconds()),
+		LatBlockP50us:    quantUS(latLat, 0.50),
+		LatBlockP99us:    quantUS(latLat, 0.99),
+		ThrBlockP99us:    quantUS(thrLat, 0.99),
+		Policy:           docFn(),
+	}
+	fmt.Printf("BenchmarkServeAB/mode=%s/tenants=%d/block=%d/switch-cost=%v \t%8d\t%12.1f ns/op\t%10.2f MB/s\t%10.1f lat-p99-us\n",
+		m.label, cfg.tenants, cfg.block, cfg.switchCost, blocks,
+		float64(elapsed.Nanoseconds())/float64(max(blocks, 1)),
+		float64(words)*8/1e6/elapsed.Seconds(), res.LatBlockP99us)
+	if p := res.Policy; p != nil {
+		fmt.Printf("  policy: %d frames, %d decisions, %d switches (%d explore), final arm %d, batch %d words\n",
+			p.Frames, p.Decisions, p.Switches, p.Explorations, p.CurrentArm, p.BatchWords)
+		for i, a := range p.Arms {
+			cur := " "
+			if a.Current {
+				cur = "*"
+			}
+			fmt.Printf("  %s arm %d: q=%-4d c=%-6d plays %3d  est %12.1f words/s\n",
+				cur, i, a.Quantum, a.CoalesceWords, a.Plays, a.RewardEst)
+		}
+	}
+	return res, nil
+}

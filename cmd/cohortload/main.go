@@ -24,6 +24,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -58,10 +59,13 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "send window per run")
 	flag.IntVar(&cfg.engines, "engines", 2, "spawned daemon: engine pool size")
 	flag.IntVar(&cfg.quantum, "quantum", 64, "spawned daemon: blocks per scheduling decision")
+	flag.DurationVar(&cfg.switchCost, "switch-cost", 0, "spawned daemon: modeled CSR-swap cost per session switch")
 	flag.IntVar(&cfg.queueCap, "queue-cap", 16384, "spawned daemon: per-direction session queue capacity in words")
 	flag.Int64Var(&cfg.seed, "seed", 1, "arrival-process RNG seed")
 	legacy := flag.Bool("legacy", false, "use the pre-coalescing legacy codec (single run)")
 	compare := flag.Bool("compare", false, "run legacy then batched against spawned daemons and report the speedup")
+	ab := flag.String("ab", "", "static-vs-adaptive A/B over the same Poisson trace and a skewed tenant mix, e.g. \"static,adaptive\" (modes: static, static:q=N, adaptive); spawned daemons only")
+	abOut := flag.String("ab-report", "BENCH_adaptive.json", "A/B report path (empty: skip)")
 	out := flag.String("o", "BENCH_serve.json", "JSON report path (empty: skip)")
 	latOut := flag.String("latency-report", "BENCH_latency.json", "decomposed server-stage latency report path (empty: skip; batched runs only)")
 	sloP99 := flag.Duration("slo-p99", 0, "SLO verdict mode: fail (exit 1) if the final run's end-to-end block p99 exceeds this (0: off)")
@@ -75,6 +79,16 @@ func main() {
 	}
 	if *compare && cfg.addr != "" {
 		log.Fatal("-compare needs spawned daemons; drop -addr")
+	}
+	if *ab != "" {
+		if cfg.addr != "" {
+			log.Fatal("-ab needs spawned daemons; drop -addr")
+		}
+		fmt.Printf("goos: %s\ngoarch: %s\npkg: cohort/cmd/cohortload\n", runtime.GOOS, runtime.GOARCH)
+		if err := runAB(cfg, *ab, *abOut); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("goos: %s\ngoarch: %s\npkg: cohort/cmd/cohortload\n", runtime.GOOS, runtime.GOARCH)
@@ -186,18 +200,19 @@ func writeJSON(path string, v any) {
 }
 
 type runConfig struct {
-	addr     string
-	accel    string
-	block    int
-	tenants  int
-	batch    int
-	coalesce int
-	rate     float64
-	duration time.Duration
-	engines  int
-	quantum  int
-	queueCap int
-	seed     int64
+	addr       string
+	accel      string
+	block      int
+	tenants    int
+	batch      int
+	coalesce   int
+	rate       float64
+	duration   time.Duration
+	engines    int
+	quantum    int
+	switchCost time.Duration
+	queueCap   int
+	seed       int64
 }
 
 type reportConfig struct {
@@ -323,10 +338,36 @@ type echoAccel struct{ out []cohort.Word }
 
 func newEcho(block int) *echoAccel { return &echoAccel{out: make([]cohort.Word, block)} }
 
-func (e *echoAccel) Name() string               { return "echo" }
-func (e *echoAccel) InWords() int               { return len(e.out) }
-func (e *echoAccel) OutWords() int              { return len(e.out) }
-func (e *echoAccel) Configure(csr []byte) error { return nil }
+func (e *echoAccel) Name() string  { return "echo" }
+func (e *echoAccel) InWords() int  { return len(e.out) }
+func (e *echoAccel) OutWords() int { return len(e.out) }
+
+// Configure accepts an optional 8-byte little-endian block size, so one
+// daemon can serve tenants with different echo geometries (the A/B harness
+// mixes small latency-sensitive blocks with large throughput blocks through
+// client.Options.CSR). An empty CSR keeps the daemon's -block default.
+func (e *echoAccel) Configure(csr []byte) error {
+	if len(csr) == 0 {
+		return nil
+	}
+	if len(csr) != 8 {
+		return fmt.Errorf("echo csr: want 8 bytes, got %d", len(csr))
+	}
+	n := int(binary.LittleEndian.Uint64(csr))
+	if n < 1 || n > wire.MaxFrameWords {
+		return fmt.Errorf("echo csr: block size %d out of range [1, %d]", n, wire.MaxFrameWords)
+	}
+	e.out = make([]cohort.Word, n)
+	return nil
+}
+
+// echoCSR encodes a block size for Configure.
+func echoCSR(block int) []byte {
+	csr := make([]byte, 8)
+	binary.LittleEndian.PutUint64(csr, uint64(block))
+	return csr
+}
+
 func (e *echoAccel) Process(in []cohort.Word) ([]cohort.Word, error) {
 	copy(e.out, in)
 	return e.out, nil
@@ -337,6 +378,7 @@ func (e *echoAccel) Process(in []cohort.Word) ([]cohort.Word, error) {
 func spawnDaemon(cfg runConfig, legacy bool) (addr string, stop func(), err error) {
 	s := sched.New(sched.Config{
 		Engines: cfg.engines, Quantum: cfg.quantum, QueueCap: cfg.queueCap,
+		SwitchCost:  cfg.switchCost,
 		MaxSessions: 2*cfg.tenants + 8,
 	})
 	cat := sched.DefaultCatalog()
@@ -502,6 +544,7 @@ type worker struct {
 	addr    string
 	legacy  bool
 	tenant  string
+	csr     []byte // optional accelerator CSR (echo: block-size override)
 	rng     *rand.Rand
 	rate    float64 // arrivals/sec for this session; 0 = unthrottled
 	lat     sampler
@@ -520,7 +563,7 @@ func (w *worker) run() error {
 	// Batched runs opt into server-side timing; the legacy run must stay the
 	// faithful pre-change stack, which had no telemetry.
 	c, err := client.Connect(w.addr, client.Options{
-		Tenant: w.tenant, Accel: w.cfg.accel, LegacyCodec: w.legacy,
+		Tenant: w.tenant, Accel: w.cfg.accel, CSR: w.csr, LegacyCodec: w.legacy,
 		ServerTiming: !w.legacy,
 	})
 	if err != nil {
@@ -681,14 +724,24 @@ func (sp *sampler) add(v int64) {
 	sp.vals = append(sp.vals, v)
 }
 
-// quantUS returns the q-quantile of ns samples, in microseconds.
+// quantUS returns the q-quantile of ns samples in microseconds, linearly
+// interpolated between the neighboring order statistics. Interpolation is
+// what makes small sample sets honest: the old truncating index collapsed
+// every quantile onto the same sample below ~1/(1-q) samples — with two
+// tenants, session p50 and p99 both returned ns[0] and the report showed
+// them identical (BENCH_serve.json once shipped 3011.7449 for both).
 func quantUS(ns []int64, q float64) float64 {
 	if len(ns) == 0 {
 		return 0
 	}
 	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
-	idx := int(q * float64(len(ns)-1))
-	return round2(float64(ns[idx]) / 1e3)
+	pos := q * float64(len(ns)-1)
+	lo := int(pos)
+	v := float64(ns[lo])
+	if frac := pos - float64(lo); frac > 0 && lo+1 < len(ns) {
+		v += frac * float64(ns[lo+1]-ns[lo])
+	}
+	return round2(v / 1e3)
 }
 
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+// TestQuantUSInterpolates pins the fix for the small-sample quantile bug:
+// the old truncating index (int(q*(n-1))) collapsed p50 and p99 onto the
+// same order statistic at small n, so single-tenant runs reported
+// session_p50_ms == session_p99_ms. Quantiles now interpolate linearly
+// between adjacent order statistics.
+func TestQuantUSInterpolates(t *testing.T) {
+	// Two samples, 1ms and 2ms: p50 must land midway, p99 near the max —
+	// and crucially NOT on the same value.
+	ns := []int64{1_000_000, 2_000_000}
+	p50 := quantUS(ns, 0.50)
+	p99 := quantUS(ns, 0.99)
+	if p50 == p99 {
+		t.Fatalf("p50 == p99 == %v us at n=2 — truncating quantile regressed", p50)
+	}
+	if p50 != 1500 {
+		t.Errorf("p50 = %v us, want 1500 (midpoint)", p50)
+	}
+	if p99 != 1990 {
+		t.Errorf("p99 = %v us, want 1990 (99%% of the way to max)", p99)
+	}
+
+	// Exact order statistics still land exactly.
+	five := []int64{1000, 2000, 3000, 4000, 5000}
+	if got := quantUS(five, 0.50); got != 3 {
+		t.Errorf("p50 of 5 = %v us, want 3", got)
+	}
+	if got := quantUS(five, 1.0); got != 5 {
+		t.Errorf("p100 = %v us, want max 5", got)
+	}
+	if got := quantUS(five, 0); got != 1 {
+		t.Errorf("p0 = %v us, want min 1", got)
+	}
+
+	// Degenerate inputs stay safe.
+	if got := quantUS(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	if got := quantUS([]int64{7000}, 0.99); got != 7 {
+		t.Errorf("single sample p99 = %v us, want 7", got)
+	}
+}
+
+// TestQuantUSUnsortedInput: quantUS sorts its input — arrival order must
+// not matter.
+func TestQuantUSUnsortedInput(t *testing.T) {
+	ns := []int64{5_000_000, 1_000_000, 3_000_000}
+	if got := quantUS(ns, 0.5); got != 3000 {
+		t.Errorf("median of unsorted = %v us, want 3000", got)
+	}
+}

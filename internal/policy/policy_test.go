@@ -1,0 +1,291 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cohort/internal/sched"
+	"cohort/internal/telem"
+)
+
+// fakeRetuner records every RetuneAll call and tracks the effective knob
+// state the way sched.Session.applyKnobs would (>0 set, 0 keep, <0 reset).
+type fakeRetuner struct {
+	calls    []sched.Knobs
+	quantum  int
+	coalesce int
+	batch    int
+}
+
+func (f *fakeRetuner) RetuneAll(k sched.Knobs) int {
+	f.calls = append(f.calls, k)
+	apply := func(cur *int, v int) {
+		switch {
+		case v > 0:
+			*cur = v
+		case v < 0:
+			*cur = 0
+		}
+	}
+	apply(&f.quantum, k.Quantum)
+	apply(&f.coalesce, k.CoalesceWords)
+	apply(&f.batch, k.BatchWords)
+	return 1
+}
+
+var pt0 = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+// busyFrame builds a one-tenant frame carrying the given goodput and
+// wire-stage p99 — the two signals the controller consumes.
+func busyFrame(at time.Time, wordsOut float64, wireP99 time.Duration) telem.WindowsDoc {
+	return telem.WindowsDoc{
+		At: at,
+		Tenants: []telem.TenantWindows{{
+			Tenant: "alice",
+			Short: telem.WindowView{
+				BlocksPerSec:   wordsOut / 8,
+				WordsOutPerSec: wordsOut,
+				Stages: telem.WindowStages{
+					Wire: telem.StageWindow{Samples: 16, P99Ns: float64(wireP99.Nanoseconds())},
+				},
+			},
+		}},
+	}
+}
+
+// testArms is a three-point action space keyed by quantum.
+var testArms = []Arm{
+	{Quantum: 8, CoalesceWords: 65536},
+	{Quantum: 64, CoalesceWords: 65536},
+	{Quantum: 256, CoalesceWords: 65536},
+}
+
+const underTarget = 500 * time.Microsecond // well below the 2ms default
+
+// newTestController builds a controller with exploration effectively off
+// (Epsilon must be > 0 to not be defaulted) so runs are deterministic.
+func newTestController(f *fakeRetuner, hysteresis int) *Controller {
+	return New(Config{
+		Sched:      f,
+		Arms:       testArms,
+		Epsilon:    1e-12,
+		Settle:     1,
+		Hysteresis: hysteresis,
+		Seed:       1,
+	})
+}
+
+// drive feeds n busy frames, deriving each frame's reward from the knobs the
+// controller has actually applied — a closed loop, like the real sampler.
+func drive(c *Controller, f *fakeRetuner, at *time.Time, n int, rewardOf func(quantum int) float64) {
+	for i := 0; i < n; i++ {
+		c.Observe(busyFrame(*at, rewardOf(f.quantum), underTarget))
+		*at = at.Add(time.Second)
+	}
+}
+
+func TestSweepThenConvergeOnBestArm(t *testing.T) {
+	f := &fakeRetuner{}
+	c := newTestController(f, 2)
+	rewards := map[int]float64{0: 50, 8: 100, 64: 200, 256: 300}
+	at := pt0
+	drive(c, f, &at, 20, func(q int) float64 { return rewards[q] })
+
+	doc := c.Doc()
+	if doc.CurrentArm != 2 {
+		t.Fatalf("converged on arm %d, want 2 (q=256, best reward)", doc.CurrentArm)
+	}
+	// The sweep visits each arm exactly once; the best arm is the sweep's
+	// last stop, so no exploit switch is ever needed.
+	if doc.Switches != 3 {
+		t.Fatalf("switches = %d, want 3 (one per sweep arm)", doc.Switches)
+	}
+	for i, a := range doc.Arms {
+		if a.Plays == 0 {
+			t.Errorf("arm %d never played during sweep", i)
+		}
+	}
+	if est := doc.Arms[2].RewardEst; est != 300 {
+		t.Errorf("arm 2 reward estimate = %v, want 300", est)
+	}
+	if f.quantum != 256 || f.coalesce != 65536 {
+		t.Errorf("applied knobs q=%d c=%d, want q=256 c=65536", f.quantum, f.coalesce)
+	}
+	if len(doc.History) != 3 || doc.History[0].FromArm != -1 || doc.History[0].Reason != "sweep" {
+		t.Errorf("history = %+v, want 3 sweep records starting from arm -1", doc.History)
+	}
+}
+
+func TestHysteresisSuppressesOneFrameBlip(t *testing.T) {
+	f := &fakeRetuner{}
+	c := newTestController(f, 2)
+	// Converge on arm 0 (q=8 pays best here).
+	rewards := map[int]float64{0: 100, 8: 100, 64: 90, 256: 10}
+	at := pt0
+	drive(c, f, &at, 20, func(q int) float64 { return rewards[q] })
+	// Sweep (3 switches) ends on the worst arm, then one exploit switch
+	// (after the hysteresis streak) lands back on arm 0.
+	if doc := c.Doc(); doc.CurrentArm != 0 || doc.Switches != 4 {
+		t.Fatalf("setup: arm %d after %d switches, want arm 0 after 4", doc.CurrentArm, doc.Switches)
+	}
+
+	// One-frame reward collapse on the incumbent: the challenger now beats
+	// the dented estimate, but hysteresis demands consecutive wins.
+	c.Observe(busyFrame(at, 10, underTarget))
+	at = at.Add(time.Second)
+	if doc := c.Doc(); doc.Switches != 4 {
+		t.Fatalf("blip caused a switch: %d switches, want still 4", doc.Switches)
+	}
+
+	// Strong recovery cancels the challenger's streak; the controller must
+	// hold arm 0 through it and beyond.
+	drive(c, f, &at, 5, func(q int) float64 { return 300 })
+	if doc := c.Doc(); doc.CurrentArm != 0 || doc.Switches != 4 {
+		t.Fatalf("after recovery: arm %d, %d switches — blip thrashed the policy", doc.CurrentArm, doc.Switches)
+	}
+}
+
+func TestIdleAndCounterResetFramesDecideNothing(t *testing.T) {
+	f := &fakeRetuner{}
+	c := newTestController(f, 2)
+	rewards := map[int]float64{0: 100, 8: 300, 64: 200, 256: 100}
+	at := pt0
+	drive(c, f, &at, 20, func(q int) float64 { return rewards[q] })
+	before := c.Doc()
+	if before.CurrentArm != 0 {
+		t.Fatalf("setup: converged on arm %d, want 0", before.CurrentArm)
+	}
+	calls := len(f.calls)
+
+	// A counter reset clamps every windowed rate to zero (see telem's
+	// TestSubscribeCounterResetFrameIsIdle) — the frame the controller sees
+	// is indistinguishable from idleness, and must be treated as such:
+	// no reward credit, no decision, no switch, no knob writes.
+	for i := 0; i < 5; i++ {
+		c.Observe(telem.WindowsDoc{At: at, Tenants: []telem.TenantWindows{{Tenant: "alice"}}})
+		at = at.Add(time.Second)
+	}
+	after := c.Doc()
+	if after.IdleFrames != before.IdleFrames+5 {
+		t.Errorf("idle_frames = %d, want %d", after.IdleFrames, before.IdleFrames+5)
+	}
+	if after.Decisions != before.Decisions || after.Switches != before.Switches {
+		t.Errorf("idle frames decided: decisions %d->%d switches %d->%d",
+			before.Decisions, after.Decisions, before.Switches, after.Switches)
+	}
+	if after.Arms[0].RewardEst != before.Arms[0].RewardEst {
+		t.Errorf("idle frame credited reward: est %v -> %v",
+			before.Arms[0].RewardEst, after.Arms[0].RewardEst)
+	}
+	if len(f.calls) != calls {
+		t.Errorf("idle frames wrote knobs: %d RetuneAll calls, want %d", len(f.calls), calls)
+	}
+}
+
+func TestAIMDBatchFloorGrowsAndHalves(t *testing.T) {
+	f := &fakeRetuner{}
+	c := New(Config{
+		Sched:      f,
+		Arms:       []Arm{{Quantum: 8, CoalesceWords: 1024}}, // clamp ceiling
+		Epsilon:    1e-12,
+		Settle:     1,
+		Hysteresis: 2,
+		BatchStep:  256,
+		Seed:       1,
+	})
+	at := pt0
+	// Under-target frames: additive increase, clamped at the arm's coalesce
+	// cap (1024 < MaxBatch default), then steady — no redundant writes.
+	for i := 0; i < 8; i++ {
+		c.Observe(busyFrame(at, 1000, underTarget))
+		at = at.Add(time.Second)
+	}
+	if doc := c.Doc(); doc.BatchWords != 1024 {
+		t.Fatalf("batch after growth = %d, want clamp at arm coalesce 1024", doc.BatchWords)
+	}
+	steady := len(f.calls)
+	c.Observe(busyFrame(at, 1000, underTarget))
+	at = at.Add(time.Second)
+	if len(f.calls) != steady {
+		t.Fatalf("steady-state frame still wrote knobs (%d -> %d calls)", steady, len(f.calls))
+	}
+
+	// Breach the wire p99 target: multiplicative decrease, halving per frame.
+	c.Observe(busyFrame(at, 1000, 10*time.Millisecond))
+	at = at.Add(time.Second)
+	if doc := c.Doc(); doc.BatchWords != 512 {
+		t.Fatalf("batch after breach = %d, want 512", doc.BatchWords)
+	}
+	for i := 0; i < 12; i++ { // halve to zero
+		c.Observe(busyFrame(at, 1000, 10*time.Millisecond))
+		at = at.Add(time.Second)
+	}
+	if doc := c.Doc(); doc.BatchWords != 0 {
+		t.Fatalf("batch under sustained breach = %d, want 0", doc.BatchWords)
+	}
+	// Absolute zero must travel as a reset (-1), not as "keep".
+	last := f.calls[len(f.calls)-1]
+	if last.BatchWords != -1 {
+		t.Fatalf("zero floor sent as BatchWords=%d, want -1 (reset)", last.BatchWords)
+	}
+	if f.batch != 0 {
+		t.Fatalf("effective batch floor = %d, want 0", f.batch)
+	}
+}
+
+func TestSwitchEventsCarryBeforeAfterKnobs(t *testing.T) {
+	f := &fakeRetuner{}
+	events := telem.NewLog(16, nil)
+	c := New(Config{
+		Sched:   f,
+		Arms:    testArms,
+		Epsilon: 1e-12,
+		Settle:  1,
+		Seed:    1,
+		Events:  events,
+	})
+	at := pt0
+	drive(c, f, &at, 10, func(q int) float64 { return 100 })
+
+	evs, _, _ := events.Since(0, 16)
+	var switches []telem.Event
+	for _, e := range evs {
+		if e.Type == telem.EventPolicySwitch {
+			switches = append(switches, e)
+		}
+	}
+	if len(switches) != 3 {
+		t.Fatalf("policy_switch events = %d, want 3 (sweep)", len(switches))
+	}
+	first := switches[0].Detail
+	for _, want := range []string{"sweep", "arm -1", "arm 0", "q=8/c=65536"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("first switch detail %q missing %q", first, want)
+		}
+	}
+}
+
+func TestParseSpecAndApply(t *testing.T) {
+	sp, err := ParseSpec(`{"quantum":[16,128],"coalesce_words":[2048,32768],"epsilon":0.2,"hysteresis":4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sp.Apply(Config{})
+	if len(cfg.Arms) != 4 {
+		t.Fatalf("arm grid = %d arms, want 4 (2x2 cross product)", len(cfg.Arms))
+	}
+	if cfg.Arms[0] != (Arm{Quantum: 16, CoalesceWords: 2048}) ||
+		cfg.Arms[3] != (Arm{Quantum: 128, CoalesceWords: 32768}) {
+		t.Fatalf("arm grid = %+v", cfg.Arms)
+	}
+	if cfg.Epsilon != 0.2 || cfg.Hysteresis != 4 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if _, err := ParseSpec(`{nope`); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if sp, err := ParseSpec(""); err != nil || len(sp.Quantum) != 0 {
+		t.Fatalf("empty spec: %+v, %v", sp, err)
+	}
+}

@@ -1,0 +1,144 @@
+package telem
+
+import (
+	"testing"
+	"time"
+
+	"cohort"
+)
+
+// wordTenant is a fakeTenant variant that also exports the words counters,
+// so WordsOutPerSec — the policy controller's reward input — is exercised.
+type wordTenant struct {
+	name             string
+	blocks, wordsOut uint64
+}
+
+func (f *wordTenant) install(reg *cohort.Registry) {
+	labels := []cohort.Label{{Key: "tenant", Value: f.name}}
+	reg.RegisterLabeled("tenant/"+f.name, labels, func() []cohort.Metric {
+		return []cohort.Metric{
+			{Name: "blocks", Value: f.blocks},
+			{Name: "words_out", Value: f.wordsOut},
+		}
+	})
+}
+
+func metricValue(t *testing.T, reg *cohort.Registry, name string) uint64 {
+	t.Helper()
+	for _, src := range reg.Snapshot() {
+		for _, m := range src.Metrics {
+			if m.Name == name {
+				return m.Value
+			}
+		}
+	}
+	t.Fatalf("metric %s not exported", name)
+	return 0
+}
+
+func TestSubscribeDeliversEachTick(t *testing.T) {
+	reg := cohort.NewRegistry()
+	ft := &wordTenant{name: "alice"}
+	ft.install(reg)
+	s := newTestSampler(t, reg, nil, nil)
+
+	frames, cancel := s.Subscribe(2)
+	defer cancel()
+	if got := metricValue(t, reg, "telem_subscribers"); got != 1 {
+		t.Fatalf("telem_subscribers = %d, want 1", got)
+	}
+
+	s.tick(t0) // baseline
+	ft.blocks, ft.wordsOut = 100, 800
+	s.tick(t0.Add(1 * time.Second))
+
+	for i := 0; i < 2; i++ {
+		select {
+		case doc := <-frames:
+			want := t0.Add(time.Duration(i) * time.Second)
+			if !doc.At.Equal(want) {
+				t.Fatalf("frame %d At = %v, want %v", i, doc.At, want)
+			}
+			if i == 1 {
+				if len(doc.Tenants) != 1 || doc.Tenants[0].Short.WordsOutPerSec != 800 {
+					t.Fatalf("frame 1 tenants = %+v, want alice at 800 words/s", doc.Tenants)
+				}
+			}
+		default:
+			t.Fatalf("frame %d not delivered", i)
+		}
+	}
+
+	// After cancel, ticks no longer deliver (and never close the channel).
+	cancel()
+	s.tick(t0.Add(2 * time.Second))
+	select {
+	case doc, ok := <-frames:
+		t.Fatalf("frame after cancel: %+v (ok=%v)", doc, ok)
+	default:
+	}
+	if got := metricValue(t, reg, "telem_subscribers"); got != 0 {
+		t.Fatalf("telem_subscribers after cancel = %d, want 0", got)
+	}
+}
+
+func TestSubscribeSlowConsumerDropsNotBlocks(t *testing.T) {
+	reg := cohort.NewRegistry()
+	ft := &wordTenant{name: "alice"}
+	ft.install(reg)
+	s := newTestSampler(t, reg, nil, nil)
+
+	frames, cancel := s.Subscribe(1)
+	defer cancel()
+
+	// Three ticks into a depth-1 buffer nobody drains: the first frame
+	// lands, the next two are dropped — tick must never stall.
+	s.tick(t0)
+	s.tick(t0.Add(1 * time.Second))
+	s.tick(t0.Add(2 * time.Second))
+
+	if got := metricValue(t, reg, "telem_sub_drops"); got != 2 {
+		t.Fatalf("telem_sub_drops = %d, want 2", got)
+	}
+	select {
+	case doc := <-frames:
+		if !doc.At.Equal(t0) {
+			t.Fatalf("buffered frame At = %v, want the first tick %v", doc.At, t0)
+		}
+	default:
+		t.Fatal("no frame buffered")
+	}
+}
+
+// TestSubscribeCounterResetFrameIsIdle pins the contract the policy
+// controller relies on: when a tenant's cumulative counters go backwards
+// mid-window (source restart), the subscriber's frame carries rates clamped
+// to zero — never negative — so a reset reads as an idle window, not as a
+// reward collapse that could trigger a spurious policy switch.
+func TestSubscribeCounterResetFrameIsIdle(t *testing.T) {
+	reg := cohort.NewRegistry()
+	ft := &wordTenant{name: "alice"}
+	ft.install(reg)
+	s := newTestSampler(t, reg, nil, nil)
+
+	frames, cancel := s.Subscribe(4)
+	defer cancel()
+
+	ft.blocks, ft.wordsOut = 1000, 64000
+	s.tick(t0)
+	<-frames
+
+	ft.blocks, ft.wordsOut = 10, 640 // restarted source: counters went backwards
+	s.tick(t0.Add(1 * time.Second))
+
+	doc := <-frames
+	if len(doc.Tenants) != 1 {
+		t.Fatalf("tenants = %+v, want 1", doc.Tenants)
+	}
+	short := doc.Tenants[0].Short
+	if short.BlocksPerSec != 0 || short.WordsOutPerSec != 0 {
+		t.Fatalf("reset window rates = %v blocks/s, %v words/s, want clamp to 0",
+			short.BlocksPerSec, short.WordsOutPerSec)
+	}
+}
